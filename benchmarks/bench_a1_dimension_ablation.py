@@ -1,0 +1,77 @@
+"""A1 -- Ablation: hypercube dimension k.
+
+The paper suggests small dimensions ("e.g., 3, 4, 5, or 6").  Larger k
+means fewer, larger hypercubes (a shallower mesh tier but longer
+hypercube-tier routes and bigger per-cube summary fan-out); smaller k means
+more mesh nodes.  The ablation keeps the physical network fixed and varies
+only the logical dimension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import ScenarioConfig
+
+from common import print_table
+
+#: dimension -> VC grid that tiles into whole blocks of that dimension
+GRIDS = {2: (8, 8), 3: (8, 8), 4: (8, 8), 6: (8, 8)}
+DURATION = 90.0
+
+
+def config_for(dimension: int) -> ScenarioConfig:
+    cols, rows = GRIDS[dimension]
+    return ScenarioConfig(
+        protocol="hvdb",
+        n_nodes=110,
+        area_size=1500.0,
+        radio_range=250.0,
+        max_speed=3.0,
+        group_size=12,
+        traffic_interval=1.0,
+        traffic_start=30.0,
+        vc_cols=cols,
+        vc_rows=rows,
+        dimension=dimension,
+        seed=47,
+    )
+
+
+def run_a1() -> List[Dict]:
+    rows: List[Dict] = []
+    for dimension in sorted(GRIDS):
+        result = run_scenario(config_for(dimension), duration=DURATION)
+        stack = result.scenario.stack
+        summary = stack.model.backbone_summary()
+        delivery = result.report.delivery
+        stats = result.report.protocol_stats
+        rows.append(
+            {
+                "dimension_k": dimension,
+                "hypercubes": int(summary["possible_hypercubes"]),
+                "pdr": round(delivery.delivery_ratio, 3),
+                "delay_ms": round(delivery.mean_delay * 1000, 1),
+                "ctrl_pkts": result.report.overhead.control_packets,
+                "mesh_forwards": stats["data_forwarded_mesh"],
+                "cube_forwards": stats["data_forwarded_cube"],
+            }
+        )
+    return rows
+
+
+def test_a1_dimension_ablation(benchmark):
+    rows = benchmark.pedantic(run_a1, rounds=1, iterations=1)
+    print_table(rows, "A1: hypercube dimension ablation (same physical network)")
+    by_dim = {r["dimension_k"]: r for r in rows}
+    # smaller dimension -> more hypercubes -> more mesh-tier forwarding
+    assert by_dim[2]["hypercubes"] > by_dim[6]["hypercubes"]
+    assert by_dim[2]["mesh_forwards"] >= by_dim[6]["mesh_forwards"]
+    # all dimensions remain functional
+    assert all(r["pdr"] > 0.4 for r in rows)
+
+
+if __name__ == "__main__":
+    print_table(run_a1(), "A1: hypercube dimension ablation")

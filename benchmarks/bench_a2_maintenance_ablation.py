@@ -1,0 +1,88 @@
+"""A2 -- Ablation: proactive-maintenance intensity.
+
+Varies the route-beacon / summary periods (Figure 4 / Figure 5 timers) and
+the local-route horizon ``k`` to expose the freshness-vs-overhead
+trade-off: faster timers cost more control transmissions but track CH
+churn better.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.protocol import HVDBParameters
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import ScenarioConfig
+
+from common import print_table
+
+DURATION = 90.0
+
+VARIANTS = {
+    "fast (1.5x rate)": HVDBParameters(
+        local_membership_period=2.0,
+        mnt_summary_period=4.0,
+        ht_summary_period=8.0,
+        route_beacon_period=2.0,
+    ),
+    "default": HVDBParameters(),
+    "slow (0.5x rate)": HVDBParameters(
+        local_membership_period=6.0,
+        mnt_summary_period=12.0,
+        ht_summary_period=24.0,
+        route_beacon_period=6.0,
+    ),
+    "k=2 horizon": HVDBParameters(max_logical_hops=2),
+    "k=6 horizon": HVDBParameters(max_logical_hops=6),
+}
+
+
+def config_for(params: HVDBParameters) -> ScenarioConfig:
+    return ScenarioConfig(
+        protocol="hvdb",
+        n_nodes=100,
+        area_size=1400.0,
+        radio_range=250.0,
+        max_speed=4.0,
+        group_size=10,
+        traffic_interval=1.0,
+        traffic_start=30.0,
+        vc_cols=8,
+        vc_rows=8,
+        dimension=4,
+        hvdb_params=params,
+        seed=53,
+    )
+
+
+def run_a2() -> List[Dict]:
+    rows: List[Dict] = []
+    for name, params in VARIANTS.items():
+        result = run_scenario(config_for(params), duration=DURATION)
+        delivery = result.report.delivery
+        overhead = result.report.overhead
+        rows.append(
+            {
+                "variant": name,
+                "pdr": round(delivery.delivery_ratio, 3),
+                "delay_ms": round(delivery.mean_delay * 1000, 1),
+                "ctrl_pkts": overhead.control_packets,
+                "ctrl_B_per_node_s": round(overhead.control_bytes_per_node_per_second, 1),
+            }
+        )
+    return rows
+
+
+def test_a2_maintenance_ablation(benchmark):
+    rows = benchmark.pedantic(run_a2, rounds=1, iterations=1)
+    print_table(rows, "A2: proactive-maintenance intensity ablation")
+    by_name = {r["variant"]: r for r in rows}
+    # faster timers cost strictly more control traffic than slower ones
+    assert by_name["fast (1.5x rate)"]["ctrl_pkts"] > by_name["slow (0.5x rate)"]["ctrl_pkts"]
+    # every variant still delivers
+    assert all(r["pdr"] > 0.3 for r in rows)
+
+
+if __name__ == "__main__":
+    print_table(run_a2(), "A2: proactive-maintenance intensity ablation")

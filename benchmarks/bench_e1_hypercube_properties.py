@@ -1,0 +1,83 @@
+"""E1 -- Hypercube structural properties (basis of the availability claim).
+
+Regenerates, for dimensions 3-6 and increasing node-failure fractions:
+
+* the number of node-disjoint paths between antipodal nodes,
+* the diameter of the (damaged) hypercube,
+* the fraction of node pairs that remain connected.
+
+Paper claims being checked (Section 2.1): an n-cube offers n node-disjoint
+paths and survives up to n-1 failures; its diameter is n.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.hypercube.paths import node_disjoint_paths
+from repro.hypercube.topology import Hypercube, IncompleteHypercube
+
+from common import print_table
+
+DIMENSIONS = [3, 4, 5, 6]
+FAILURE_FRACTIONS = [0.0, 0.125, 0.25, 0.375, 0.5]
+TRIALS = 5
+
+
+def run_e1(seed: int = 1) -> List[Dict]:
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    for dimension in DIMENSIONS:
+        size = 1 << dimension
+        complete = Hypercube(dimension)
+        baseline_paths = len(node_disjoint_paths(complete, 0, size - 1))
+        for fraction in FAILURE_FRACTIONS:
+            failures = int(round(fraction * size))
+            surviving_paths = 0.0
+            diameters = 0.0
+            connected_pairs = 0.0
+            for _ in range(TRIALS):
+                cube = IncompleteHypercube(dimension)
+                # never remove the pair we measure between
+                candidates = [lab for lab in range(size) if lab not in (0, size - 1)]
+                for victim in rng.sample(candidates, min(failures, len(candidates))):
+                    cube.remove_node(victim)
+                surviving_paths += len(node_disjoint_paths(cube, 0, size - 1))
+                diameters += cube.diameter()
+                nodes = list(cube.nodes())
+                pairs = 0
+                reachable_pairs = 0
+                for i, a in enumerate(nodes):
+                    reach = cube.reachable_from(a)
+                    for b in nodes[i + 1:]:
+                        pairs += 1
+                        if b in reach:
+                            reachable_pairs += 1
+                connected_pairs += (reachable_pairs / pairs) if pairs else 1.0
+            rows.append(
+                {
+                    "dimension": dimension,
+                    "failed_nodes_%": round(fraction * 100),
+                    "disjoint_paths": round(surviving_paths / TRIALS, 1),
+                    "paths_complete_cube": baseline_paths,
+                    "diameter": round(diameters / TRIALS, 1),
+                    "connected_pairs_%": round(100.0 * connected_pairs / TRIALS, 1),
+                }
+            )
+    return rows
+
+
+def test_e1_hypercube_properties(benchmark):
+    rows = benchmark.pedantic(run_e1, rounds=1, iterations=1)
+    # the headline claims: n disjoint paths and diameter n with no failures
+    for dimension in DIMENSIONS:
+        intact = next(r for r in rows if r["dimension"] == dimension and r["failed_nodes_%"] == 0)
+        assert intact["disjoint_paths"] == dimension
+        assert intact["diameter"] == dimension
+        assert intact["connected_pairs_%"] == 100.0
+    print_table(rows, "E1: hypercube fault tolerance, diameter and connectivity under node failures")
+
+
+if __name__ == "__main__":
+    print_table(run_e1(), "E1: hypercube fault tolerance, diameter and connectivity under node failures")

@@ -1,0 +1,92 @@
+"""E3 -- Control overhead of the summary-based membership scheme.
+
+Compares the control plane of HVDB (Local-Membership -> MNT-Summary ->
+HT-Summary -> MT-Summary, confined to the cluster-head backbone) against
+DSM (every node periodically floods its position network-wide) and SPBM
+(every node announces membership up a square hierarchy), as a function of
+network size and of the number of multicast groups.
+
+Paper claim (Sections 2.2 / 4.2): summarising membership and disseminating
+it "to only a portion of nodes in the network" scales better in both the
+number of groups and the number of nodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import ScenarioConfig
+
+from common import print_table
+
+DURATION = 80.0
+NODE_COUNTS = [60, 120]
+GROUP_COUNTS = [1, 4]
+PROTOCOLS = ["hvdb", "spbm", "dsm"]
+
+
+def config_for(protocol: str, n_nodes: int, n_groups: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        protocol=protocol,
+        n_nodes=n_nodes,
+        area_size=1500.0,
+        radio_range=250.0,
+        max_speed=3.0,
+        n_groups=n_groups,
+        group_size=8,
+        traffic_interval=2.0,
+        traffic_start=40.0,
+        vc_cols=8,
+        vc_rows=8,
+        dimension=4,
+        dsm_position_period=15.0,
+        seed=13,
+    )
+
+
+def run_e3() -> List[Dict]:
+    rows: List[Dict] = []
+    for n_nodes in NODE_COUNTS:
+        for n_groups in GROUP_COUNTS:
+            for protocol in PROTOCOLS:
+                result = run_scenario(config_for(protocol, n_nodes, n_groups), duration=DURATION)
+                overhead = result.report.overhead
+                rows.append(
+                    {
+                        "nodes": n_nodes,
+                        "groups": n_groups,
+                        "protocol": protocol,
+                        "ctrl_pkts": overhead.control_packets,
+                        "ctrl_B_per_node_s": round(overhead.control_bytes_per_node_per_second, 1),
+                        "pdr": round(result.report.delivery.delivery_ratio, 3),
+                    }
+                )
+    return rows
+
+
+def test_e3_membership_overhead(benchmark):
+    rows = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    print_table(rows, "E3: membership/control overhead vs. network size and group count")
+    by_key = {(r["nodes"], r["groups"], r["protocol"]): r for r in rows}
+    # DSM's per-node control load grows with N (every node floods to every node);
+    # HVDB's per-node control load grows much more slowly.
+    dsm_growth = (
+        by_key[(120, 1, "dsm")]["ctrl_B_per_node_s"]
+        / max(1e-9, by_key[(60, 1, "dsm")]["ctrl_B_per_node_s"])
+    )
+    hvdb_growth = (
+        by_key[(120, 1, "hvdb")]["ctrl_B_per_node_s"]
+        / max(1e-9, by_key[(60, 1, "hvdb")]["ctrl_B_per_node_s"])
+    )
+    assert dsm_growth > hvdb_growth
+    # adding groups barely changes HVDB's overhead (summaries are aggregated)
+    hvdb_group_growth = (
+        by_key[(120, 4, "hvdb")]["ctrl_pkts"] / max(1, by_key[(120, 1, "hvdb")]["ctrl_pkts"])
+    )
+    assert hvdb_group_growth < 2.0
+
+
+if __name__ == "__main__":
+    print_table(run_e3(), "E3: membership/control overhead vs. network size and group count")

@@ -1,0 +1,105 @@
+"""E8 -- Membership convergence under group churn.
+
+Members join and leave the multicast group during the run; the experiment
+measures how delivery tracks the changing membership and how much
+membership control traffic each churn rate costs, plus a comparison of the
+designated-broadcaster criteria of Section 4.2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.membership import BroadcasterCriterion
+from repro.core.protocol import HVDBParameters
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import ScenarioConfig
+
+from common import print_table
+
+CHURN_RATES = [0.0, 0.05, 0.2]      # membership changes per second
+DURATION = 100.0
+
+
+def base_config(criterion: BroadcasterCriterion = BroadcasterCriterion.NEIGHBORHOOD_MEMBERS) -> ScenarioConfig:
+    return ScenarioConfig(
+        protocol="hvdb",
+        n_nodes=90,
+        area_size=1400.0,
+        radio_range=260.0,
+        max_speed=2.0,
+        group_size=10,
+        traffic_interval=1.0,
+        traffic_start=30.0,
+        vc_cols=8,
+        vc_rows=8,
+        dimension=4,
+        hvdb_params=HVDBParameters(broadcaster_criterion=criterion),
+        seed=43,
+    )
+
+
+def churn_hook(rate: float):
+    def hook(scenario):
+        if rate > 0:
+            scenario.groups.start_churn(1, rate=rate, min_members=3)
+
+    return hook
+
+
+def run_e8_churn() -> List[Dict]:
+    rows: List[Dict] = []
+    for rate in CHURN_RATES:
+        result = run_scenario(
+            base_config(), duration=DURATION, before_run=churn_hook(rate)
+        )
+        delivery = result.report.delivery
+        overhead = result.report.overhead
+        changes = len(result.scenario.groups.history) - 10   # initial joins excluded
+        rows.append(
+            {
+                "churn_per_s": rate,
+                "membership_changes": max(0, changes),
+                "pdr": round(delivery.delivery_ratio, 3),
+                "ctrl_pkts": overhead.control_packets,
+                "ht_broadcasts": result.report.protocol_stats["ht_summaries_broadcast"],
+            }
+        )
+    return rows
+
+
+def run_e8_criteria() -> List[Dict]:
+    rows: List[Dict] = []
+    for criterion in BroadcasterCriterion:
+        result = run_scenario(
+            base_config(criterion), duration=DURATION, before_run=churn_hook(0.1)
+        )
+        rows.append(
+            {
+                "criterion": criterion.value,
+                "pdr": round(result.report.delivery.delivery_ratio, 3),
+                "ht_broadcasts": result.report.protocol_stats["ht_summaries_broadcast"],
+                "ctrl_pkts": result.report.overhead.control_packets,
+            }
+        )
+    return rows
+
+
+def test_e8_membership_convergence(benchmark):
+    rows = benchmark.pedantic(run_e8_churn, rounds=1, iterations=1)
+    print_table(rows, "E8a: delivery and overhead vs. group churn rate")
+    # churn costs delivery but the protocol keeps tracking the membership
+    assert rows[0]["pdr"] >= rows[-1]["pdr"] - 0.05
+    assert all(r["pdr"] > 0.3 for r in rows)
+
+
+def test_e8_broadcaster_criteria(benchmark):
+    rows = benchmark.pedantic(run_e8_criteria, rounds=1, iterations=1)
+    print_table(rows, "E8b: designated-broadcaster criteria comparison (churn 0.1/s)")
+    assert all(r["ht_broadcasts"] > 0 for r in rows)
+
+
+if __name__ == "__main__":
+    print_table(run_e8_churn(), "E8a: delivery and overhead vs. group churn rate")
+    print_table(run_e8_criteria(), "E8b: designated-broadcaster criteria comparison")

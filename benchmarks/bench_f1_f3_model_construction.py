@@ -1,0 +1,107 @@
+"""F1-F3 -- The paper's structural figures as executable artefacts.
+
+* Figure 1: the three-tier HVDB built from a clustered network
+  (mobile-node tier -> hypercube tier -> mesh tier).
+* Figure 2: the 8x8 virtual-circle grid partitioned into four
+  4-dimensional logical hypercube regions.
+* Figure 3: the HNID labelling of one 4-dimensional logical hypercube.
+
+The benchmark times model construction from a 200-node clustered snapshot
+and asserts the structural invariants the figures depict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.clustering.service import ClusteringService
+from repro.core.hvdb import HVDBModel
+from repro.core.identifiers import LogicalAddressSpace
+from repro.geo.area import Area
+from repro.geo.grid import VirtualCircleGrid
+from repro.hypercube.labels import label_to_bits
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.simulation.mac import IdealMac
+from repro.simulation.network import Network, NetworkConfig
+from repro.simulation.node import MobileNode
+from repro.simulation.radio import UnitDiskRadio
+
+from common import print_table
+
+N_NODES = 200
+
+
+def build_clustered_network(seed: int = 3):
+    area = Area(1000.0, 1000.0)
+    ids = list(range(N_NODES))
+    mobility = RandomWaypointMobility(area, ids, min_speed=1.0, max_speed=5.0, seed=seed)
+    network = Network(
+        NetworkConfig(area=area, radio=UnitDiskRadio(250.0), mac=IdealMac(), seed=seed), mobility
+    )
+    for node_id in ids:
+        network.add_node(MobileNode(node_id))
+    grid = VirtualCircleGrid(area, 8, 8)
+    clustering = ClusteringService(network, grid)
+    space = LogicalAddressSpace(grid, dimension=4)
+    return network, clustering, space
+
+
+def run_f1_f3() -> List[Dict]:
+    network, clustering, space = build_clustered_network()
+    model = HVDBModel(space, clustering.snapshot())
+    summary = model.backbone_summary()
+    rows = [
+        {
+            "figure": "F1 three tiers",
+            "quantity": "mobile nodes / cluster heads / hypercubes / mesh nodes",
+            "value": f"{N_NODES} / {int(summary['cluster_heads'])} / "
+            f"{int(summary['actual_hypercubes'])} / {int(summary['mesh_nodes'])}",
+        },
+        {
+            "figure": "F2 VC grid",
+            "quantity": "virtual circles / VCs per hypercube region / regions",
+            "value": f"{len(space.grid)} / {space.block_cols * space.block_rows} / "
+            f"{space.hypercube_count()}",
+        },
+        {
+            "figure": "F2 occupancy",
+            "quantity": "occupied VC fraction (i.e. actual hypercube nodes)",
+            "value": f"{summary['hypercube_occupancy']:.2f}",
+        },
+        {
+            "figure": "F3 labelling",
+            "quantity": "HNID of VC rows 0/2 of region 0 (paper layout)",
+            "value": " ".join(label_to_bits(space.hnid_of((c, 0)), 4) for c in range(4))
+            + " | "
+            + " ".join(label_to_bits(space.hnid_of((c, 2)), 4) for c in range(4)),
+        },
+        {
+            "figure": "F1 roles",
+            "quantity": "border / inner cluster heads",
+            "value": f"{int(summary['border_cluster_heads'])} / {int(summary['inner_cluster_heads'])}",
+        },
+    ]
+    return rows
+
+
+def test_f1_f3_model_construction(benchmark):
+    def construct():
+        network, clustering, space = build_clustered_network()
+        return HVDBModel(space, clustering.snapshot())
+
+    model = benchmark(construct)
+    summary = model.backbone_summary()
+    # Figure 1: all three tiers exist
+    assert summary["cluster_heads"] > 0
+    assert summary["actual_hypercubes"] > 0
+    assert summary["mesh_nodes"] > 0
+    # Figure 2: 8x8 VCs in four 4-D regions
+    assert model.space.hypercube_count() == 4
+    # Figure 3: the canonical label layout
+    assert label_to_bits(model.space.hnid_of((2, 0)), 4) == "0100"
+    assert label_to_bits(model.space.hnid_of((3, 2)), 4) == "1101"
+    print_table(run_f1_f3(), "F1-F3: structural reproduction of the paper's figures")
+
+
+if __name__ == "__main__":
+    print_table(run_f1_f3(), "F1-F3: structural reproduction of the paper's figures")

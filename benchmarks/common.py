@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark / experiment-regeneration suite.
+
+Every benchmark file exposes a ``run_*`` function that regenerates the rows
+of one experiment from DESIGN.md (E1-E8, A1-A2, F1-F6) and a pytest
+benchmark that times it.  Running a file directly (``python
+benchmarks/bench_e2_scalability_pdr.py``) prints the regenerated table,
+which is how the figures in EXPERIMENTS.md were produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.metrics.collectors import format_table
+
+#: Durations / sizes are chosen so the full suite finishes in a few minutes
+#: on a laptop while preserving the qualitative shape of each result.
+DEFAULT_DURATION = 90.0
+
+
+def print_table(rows: Iterable[Dict], title: str) -> str:
+    table = format_table(list(rows), title=title)
+    print()
+    print(table)
+    return table
+
+
+def pct(value: float) -> float:
+    """Round a ratio to a percentage with one decimal."""
+    return round(value * 100.0, 1)

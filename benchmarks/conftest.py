@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Makes the benchmarks runnable from a source checkout without installation
+and keeps pytest-benchmark output compact.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:  # pragma: no cover
+    sys.path.insert(0, _ROOT)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compare HVDB against the baseline multicast protocols on one workload.
+
+Runs the same 100-node random-waypoint scenario under HVDB, flooding,
+SGM-style overlay trees, DSM-style source routing and SPBM-style
+hierarchical membership, and prints one table row per protocol -- the
+qualitative picture behind the paper's Related Work comparison
+(Section 2.2).
+
+Run with::
+
+    python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig
+from repro.metrics.collectors import format_table
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        n_nodes=100,
+        area_size=1500.0,
+        radio_range=250.0,
+        max_speed=4.0,
+        n_groups=1,
+        group_size=12,
+        traffic_interval=1.0,
+        traffic_start=30.0,
+        vc_cols=8,
+        vc_rows=8,
+        dimension=4,
+        dsm_position_period=15.0,
+        seed=31,
+    )
+
+    rows = []
+    for protocol in PROTOCOLS:
+        print(f"running {protocol} ...")
+        result = run_scenario(dataclasses.replace(base, protocol=protocol), duration=120.0)
+        report = result.report
+        rows.append(
+            {
+                "protocol": protocol,
+                "pdr": round(report.delivery.delivery_ratio, 3),
+                "delay_ms": round(report.delivery.mean_delay * 1000, 1),
+                "data_tx/pkt": round(
+                    report.overhead.data_packets
+                    / max(1, report.delivery.packets_originated),
+                    1,
+                ),
+                "ctrl_tx": report.overhead.control_packets,
+                "ctrlB/node/s": round(report.overhead.control_bytes_per_node_per_second, 1),
+                "jain": round(report.load_balance.jain, 3),
+                "peak/mean": round(report.load_balance.peak_to_mean_ratio, 2),
+            }
+        )
+
+    print()
+    print(format_table(rows, title="Protocol comparison (100 nodes, 12 receivers, 90 s of traffic)"))
+    print()
+    print("Reading the table:")
+    print(" * flooding delivers the most but costs ~N data transmissions per packet")
+    print("   and has no control plane; its cost explodes with network size.")
+    print(" * DSM/SPBM pay a control plane that involves every node in the network.")
+    print(" * HVDB keeps the control plane on the cluster-head backbone and spreads")
+    print("   forwarding over the hypercube structure (higher Jain index / lower")
+    print("   peak-to-mean than single-tree protocols at comparable delivery).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro -- reproduction of "A Novel QoS Multicast Model in Mobile Ad Hoc Networks" (IPDPS 2005).
+
+The package implements the paper's HVDB (Hypercube-based Virtual Dynamic
+Backbone) QoS multicast model and protocol, every substrate it depends on
+(a discrete-event MANET simulator, mobility models, mobility-prediction
+clustering, location-based unicast routing, hypercube mathematics), the
+baseline protocols it is compared against, and the experiment harness that
+regenerates the evaluation.
+
+Quickstart::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(protocol="hvdb", n_nodes=80), duration=90.0)
+    print(result.report.delivery.delivery_ratio)
+
+See ``examples/`` for richer, commented scenarios and ``DESIGN.md`` for
+the system inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "geo",
+    "hypercube",
+    "mobility",
+    "simulation",
+    "clustering",
+    "unicast",
+    "core",
+    "baselines",
+    "metrics",
+    "experiments",
+]

@@ -1,0 +1,36 @@
+"""Baseline multicast protocols (System S8).
+
+The paper positions HVDB against three families of location-based
+multicast protocols (Section 2.2) plus the trivial flooding approach.
+Each family is re-implemented here in its essential form so the
+evaluation can compare scalability, overhead and load balancing:
+
+* :mod:`repro.baselines.flooding` -- network-wide flooding: every node
+  re-broadcasts each data packet once.  Upper bound on delivery, worst
+  case on overhead and load concentration.
+* :mod:`repro.baselines.dsm` -- Dynamic Source Multicast [1]: every node
+  periodically floods its position; a sender computes a multicast tree
+  over a global topology snapshot and encodes it in the packet.
+* :mod:`repro.baselines.sgm` -- Small Group Multicast [6]: the sender
+  knows the member list and their positions, builds a location-guided
+  overlay tree and forwards with packet encapsulation over unicast.
+* :mod:`repro.baselines.spbm` -- Scalable Position-Based Multicast [28]:
+  square-hierarchy membership aggregation; data packets are addressed to
+  squares and split as they descend the hierarchy.
+"""
+
+from repro.baselines.flooding import FloodingMulticastAgent, FLOODING_PROTOCOL
+from repro.baselines.dsm import DsmAgent, DSM_PROTOCOL
+from repro.baselines.sgm import SgmAgent, SGM_PROTOCOL
+from repro.baselines.spbm import SpbmAgent, SPBM_PROTOCOL
+
+__all__ = [
+    "FloodingMulticastAgent",
+    "FLOODING_PROTOCOL",
+    "DsmAgent",
+    "DSM_PROTOCOL",
+    "SgmAgent",
+    "SGM_PROTOCOL",
+    "SpbmAgent",
+    "SPBM_PROTOCOL",
+]

@@ -1,0 +1,115 @@
+"""Small Group Multicast (SGM)-style baseline.
+
+Chen & Nahrstedt's location-guided tree construction [6]: the sender knows
+the group member list and their locations, splits the member set
+geographically into branches, and forwards the packet to the root of each
+branch with the remaining destinations encapsulated in the header; each
+branch root repeats the process ("location-guided k-ary tree").  No
+per-router multicast state is kept; everything rides on the unicast
+substrate.
+
+The member list and positions are obtained from the group/location oracle
+the original protocol assumes ("they are only aware of each other in terms
+of the group membership and the location information of the group nodes",
+paper Section 2.2), which also means the scheme is only practical for
+small, fairly static groups -- exactly the limitation the paper points
+out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.geo.geometry import Point, distance
+from repro.simulation.agent import ProtocolAgent
+from repro.simulation.packet import Packet, PacketKind
+from repro.unicast.router import GEO_PROTOCOL, GeoUnicastAgent
+
+SGM_PROTOCOL = "sgm"
+
+#: branching factor of the location-guided tree
+_DEFAULT_FANOUT = 3
+
+
+class SgmAgent(ProtocolAgent):
+    """Location-guided overlay tree multicast with packet encapsulation."""
+
+    protocol_name = SGM_PROTOCOL
+
+    def __init__(self, fanout: int = _DEFAULT_FANOUT) -> None:
+        super().__init__()
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.fanout = fanout
+        self.data_originated = 0
+        self.branches_forwarded = 0
+
+    def _geo(self) -> GeoUnicastAgent:
+        return self.node.agent(GEO_PROTOCOL)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def send_multicast(self, group: int, payload, size_bytes: int = 512) -> None:
+        members = [m for m in self.network.group_members(group) if m != self.node_id]
+        packet = Packet(
+            kind=PacketKind.DATA,
+            protocol=SGM_PROTOCOL,
+            msg_type="data",
+            source=self.node_id,
+            group=group,
+            payload=payload,
+            headers={"destinations": sorted(members)},
+            size_bytes=size_bytes + 4 * len(members),
+            created_at=self.now,
+        )
+        self.network.register_data_packet(packet, self.network.group_members(group))
+        self.data_originated += 1
+        if self.node.is_member(group):
+            self.node.deliver_to_application(packet)
+        self._forward_to_branches(packet, members)
+
+    def on_packet(self, packet: Packet, from_node: int) -> None:
+        if packet.protocol != SGM_PROTOCOL or packet.msg_type != "data":
+            return
+        if packet.group is not None and self.node.is_member(packet.group):
+            self.node.deliver_to_application(packet)
+        destinations = [d for d in packet.headers.get("destinations", []) if d != self.node_id]
+        if destinations:
+            self._forward_to_branches(packet, destinations)
+
+    # ------------------------------------------------------------------
+    def _forward_to_branches(self, packet: Packet, destinations: Sequence[int]) -> None:
+        """Split the destination set geographically and forward one copy per branch."""
+        live = [d for d in destinations if d in self.network.nodes and self.network.node(d).alive]
+        if not live:
+            return
+        clusters = self._geographic_split(live, self.fanout)
+        for cluster in clusters:
+            if not cluster:
+                continue
+            # branch root: the member closest to this node (it will re-split)
+            my_pos = self.network.position_of(self.node_id)
+            root = min(cluster, key=lambda d: distance(self.network.position_of(d), my_pos))
+            copy = packet.copy_for_forwarding()
+            copy.headers["destinations"] = sorted(d for d in cluster if d != root)
+            copy.size_bytes = packet.size_bytes
+            self.branches_forwarded += 1
+            self._geo().send(copy, root)
+
+    def _geographic_split(self, destinations: Sequence[int], k: int) -> List[List[int]]:
+        """Greedy k-way split of destinations by proximity (k-means-like, one pass)."""
+        if len(destinations) <= k:
+            return [[d] for d in destinations]
+        positions: Dict[int, Point] = {d: self.network.position_of(d) for d in destinations}
+        # pick k seeds spread out: farthest-point heuristic
+        seeds = [destinations[0]]
+        while len(seeds) < k:
+            best = max(
+                (d for d in destinations if d not in seeds),
+                key=lambda d: min(distance(positions[d], positions[s]) for s in seeds),
+            )
+            seeds.append(best)
+        clusters: List[List[int]] = [[] for _ in range(k)]
+        for d in destinations:
+            idx = min(range(k), key=lambda i: distance(positions[d], positions[seeds[i]]))
+            clusters[idx].append(d)
+        return clusters

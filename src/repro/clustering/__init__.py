@@ -1,0 +1,30 @@
+"""Mobility-prediction, location-based clustering (System S5).
+
+The HVDB model "uses the mobility prediction and location-based clustering
+technique in [23] to form stable clusters, which elects an MN as a CH when
+it satisfies the following criteria: (1) it has the highest probability, in
+comparison to other MNs within the same cluster, to stay for longer time
+within the cluster; (2) it has the minimum distance from the center of the
+cluster." (paper Section 1)
+
+* :mod:`repro.clustering.mobility_prediction` -- predicted residence time
+  of a node inside a virtual circle given its position and velocity.
+* :mod:`repro.clustering.cluster` -- cluster state and the CH election
+  rule (residence time first, distance to the VCC as tie-breaker), with
+  re-election hysteresis for stability.
+* :mod:`repro.clustering.service` -- the network-wide clustering service
+  that maintains one cluster per virtual circle as nodes move.
+"""
+
+from repro.clustering.mobility_prediction import predicted_residence_time
+from repro.clustering.cluster import Cluster, ClusterHeadCandidate, elect_cluster_head
+from repro.clustering.service import ClusteringService, ClusterSnapshot
+
+__all__ = [
+    "predicted_residence_time",
+    "Cluster",
+    "ClusterHeadCandidate",
+    "elect_cluster_head",
+    "ClusteringService",
+    "ClusterSnapshot",
+]

@@ -1,0 +1,132 @@
+"""Logical location-based multicast routing (paper Figure 6) -- tree computation.
+
+Two trees are computed per group:
+
+* the **mesh-tier multicast tree** over the logical hypercubes known (from
+  the MT-Summary) to contain group members, rooted at the source CH's own
+  mesh node;
+* the **hypercube-tier multicast tree** over the hypercube nodes known
+  (from the HT-Summary) to host members, rooted at the CH where the packet
+  entered the hypercube, and realised on the incomplete hypercube of
+  currently-present CHs.
+
+Both trees are cached per group and invalidated whenever the underlying
+summary changes; they are encapsulated into the packet header when a data
+packet is sent (steps 2 and 4 of Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.core.identifiers import MeshCoord
+from repro.core.membership import HTSummary, MTSummary
+from repro.hypercube.mesh import MeshGrid, MeshMulticastTree, mesh_multicast_tree
+from repro.hypercube.multicast_tree import MulticastTree, greedy_multicast_tree
+from repro.hypercube.topology import IncompleteHypercube
+
+
+def compute_mesh_tree(
+    mesh: MeshGrid,
+    root: MeshCoord,
+    mt_summary: MTSummary,
+    group: int,
+) -> MeshMulticastTree:
+    """Mesh-tier multicast tree for ``group`` rooted at ``root``.
+
+    The member set is every mesh node the MT-Summary lists for the group;
+    the root is always included so the tree is well-formed even when the
+    source's own hypercube has no members.
+    """
+    members = set(mt_summary.mesh_nodes_for(group))
+    members.add(root)
+    return mesh_multicast_tree(mesh, root, members)
+
+
+def compute_hypercube_tree(
+    cube: IncompleteHypercube,
+    root_hnid: int,
+    ht_summary: HTSummary,
+    group: int,
+) -> MulticastTree:
+    """Hypercube-tier multicast tree for ``group`` rooted at ``root_hnid``."""
+    members = set(ht_summary.hnids_for(group))
+    members.add(root_hnid)
+    return greedy_multicast_tree(cube, root_hnid, members)
+
+
+@dataclass
+class _CachedMeshTree:
+    tree: MeshMulticastTree
+    member_key: FrozenSet[MeshCoord]
+
+
+@dataclass
+class _CachedCubeTree:
+    tree: MulticastTree
+    member_key: FrozenSet[int]
+
+
+@dataclass
+class MulticastForwardingState:
+    """Per-CH cache of multicast trees ("The multicast tree is then cached
+    for future use", Section 4.3).
+
+    Trees are keyed by group and remembered together with the member set
+    they were computed for; a lookup with a different member set is a cache
+    miss, so membership changes naturally invalidate stale trees.
+    """
+
+    mesh_trees: Dict[int, _CachedMeshTree] = field(default_factory=dict)
+    cube_trees: Dict[Tuple[int, int], _CachedCubeTree] = field(default_factory=dict)
+    mesh_tree_hits: int = 0
+    mesh_tree_misses: int = 0
+    cube_tree_hits: int = 0
+    cube_tree_misses: int = 0
+
+    # ------------------------------------------------------------------
+    def mesh_tree(
+        self,
+        mesh: MeshGrid,
+        root: MeshCoord,
+        mt_summary: MTSummary,
+        group: int,
+    ) -> MeshMulticastTree:
+        members = frozenset(mt_summary.mesh_nodes_for(group) | {root})
+        cached = self.mesh_trees.get(group)
+        if cached is not None and cached.member_key == members and cached.tree.root == root:
+            self.mesh_tree_hits += 1
+            return cached.tree
+        self.mesh_tree_misses += 1
+        tree = compute_mesh_tree(mesh, root, mt_summary, group)
+        self.mesh_trees[group] = _CachedMeshTree(tree=tree, member_key=members)
+        return tree
+
+    def hypercube_tree(
+        self,
+        cube: IncompleteHypercube,
+        root_hnid: int,
+        ht_summary: HTSummary,
+        group: int,
+    ) -> MulticastTree:
+        members = frozenset(ht_summary.hnids_for(group) | {root_hnid})
+        key = (group, root_hnid)
+        cached = self.cube_trees.get(key)
+        if cached is not None and cached.member_key == members:
+            self.cube_tree_hits += 1
+            return cached.tree
+        self.cube_tree_misses += 1
+        tree = compute_hypercube_tree(cube, root_hnid, ht_summary, group)
+        self.cube_trees[key] = _CachedCubeTree(tree=tree, member_key=members)
+        return tree
+
+    def invalidate_group(self, group: int) -> None:
+        """Drop every cached tree for ``group`` (e.g. after a summary update)."""
+        self.mesh_trees.pop(group, None)
+        for key in [k for k in self.cube_trees if k[0] == group]:
+            self.cube_trees.pop(key, None)
+
+    def invalidate_all(self) -> None:
+        self.mesh_trees.clear()
+        self.cube_trees.clear()

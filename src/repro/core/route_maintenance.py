@@ -1,0 +1,215 @@
+"""Proactive local logical route maintenance (paper Figure 4).
+
+Each CH maintains, for every other CH at most ``k`` logical hops away in
+its hypercube, one or more *local logical routes* annotated with QoS state
+(delay and bandwidth): "the information such as delay and bandwidth is
+maintained in each specific local logical route, which is used for QoS
+routing" (Section 4.1).
+
+The table is filled by periodic beacon exchange with 1-logical-hop
+neighbours (a distance-vector-style propagation bounded at ``k`` hops) --
+the :class:`~repro.core.protocol.HVDBProtocolAgent` drives the message
+exchange; this module holds the data structure and the update rules so
+they can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class LinkQoS:
+    """QoS state of one 1-logical-hop link."""
+
+    delay: float          #: seconds across the logical link (multi-hop physical)
+    bandwidth: float      #: available bandwidth in bits per second
+    measured_at: float    #: simulation time of the measurement
+
+    def combined_with(self, other: "LinkQoS") -> "LinkQoS":
+        """QoS of the concatenation of two logical links."""
+        return LinkQoS(
+            delay=self.delay + other.delay,
+            bandwidth=min(self.bandwidth, other.bandwidth),
+            measured_at=min(self.measured_at, other.measured_at),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalRoute:
+    """A local logical route: the HNID path plus its aggregate QoS."""
+
+    path: Tuple[int, ...]     #: HNIDs from this CH (inclusive) to the destination
+    qos: LinkQoS
+
+    @property
+    def destination(self) -> int:
+        return self.path[-1]
+
+    @property
+    def logical_hops(self) -> int:
+        """Number of logical hops (paper Section 4.1): path length minus one."""
+        return len(self.path) - 1
+
+    def extended(self, next_hnid: int, link_qos: LinkQoS) -> "LogicalRoute":
+        """Prepend-free extension: append one more logical hop at the far end."""
+        return LogicalRoute(path=self.path + (next_hnid,), qos=self.qos.combined_with(link_qos))
+
+
+class LogicalRouteTable:
+    """Per-CH table of local logical routes, bounded at ``max_logical_hops``.
+
+    Routes are indexed by destination HNID; multiple routes per destination
+    are kept (up to ``routes_per_destination``), sorted by logical hop
+    count then delay, so QoS routing can pick among alternatives and
+    fail-over instantly when the preferred route breaks.
+    """
+
+    def __init__(
+        self,
+        own_hnid: int,
+        max_logical_hops: int = 4,
+        routes_per_destination: int = 3,
+        expiry: float = 30.0,
+    ) -> None:
+        if max_logical_hops < 1:
+            raise ValueError("max_logical_hops must be at least 1")
+        if routes_per_destination < 1:
+            raise ValueError("routes_per_destination must be at least 1")
+        self.own_hnid = own_hnid
+        self.max_logical_hops = max_logical_hops
+        self.routes_per_destination = routes_per_destination
+        self.expiry = expiry
+        self._routes: Dict[int, List[LogicalRoute]] = {}
+        self._neighbor_qos: Dict[int, LinkQoS] = {}
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update_neighbor(self, neighbor_hnid: int, qos: LinkQoS) -> None:
+        """Record / refresh the direct 1-logical-hop link to a neighbour CH."""
+        if neighbor_hnid == self.own_hnid:
+            raise ValueError("a CH has no logical link to itself")
+        self._neighbor_qos[neighbor_hnid] = qos
+        direct = LogicalRoute(path=(self.own_hnid, neighbor_hnid), qos=qos)
+        self._insert(direct)
+
+    def remove_neighbor(self, neighbor_hnid: int) -> None:
+        """Drop the direct link and every route through that neighbour."""
+        self._neighbor_qos.pop(neighbor_hnid, None)
+        for dest in list(self._routes.keys()):
+            kept = [
+                r for r in self._routes[dest] if len(r.path) < 2 or r.path[1] != neighbor_hnid
+            ]
+            if kept:
+                self._routes[dest] = kept
+            else:
+                del self._routes[dest]
+
+    def integrate_advertisement(
+        self, neighbor_hnid: int, advertised: Iterable[LogicalRoute], now: float
+    ) -> int:
+        """Merge routes advertised by a 1-logical-hop neighbour (Figure 4, step 2).
+
+        Each advertised route (from the neighbour's perspective) is turned
+        into a route of this CH by prefixing the direct link to the
+        neighbour, provided the result stays within ``max_logical_hops``,
+        does not loop back through this CH, and the direct link is known.
+        Returns the number of routes accepted.
+        """
+        link = self._neighbor_qos.get(neighbor_hnid)
+        if link is None:
+            return 0
+        accepted = 0
+        for route in advertised:
+            if route.path[0] != neighbor_hnid:
+                continue
+            if self.own_hnid in route.path:
+                continue
+            total_hops = route.logical_hops + 1
+            if total_hops > self.max_logical_hops:
+                continue
+            combined = LogicalRoute(
+                path=(self.own_hnid,) + route.path,
+                qos=link.combined_with(route.qos),
+            )
+            if self._insert(combined):
+                accepted += 1
+        self.prune_expired(now)
+        return accepted
+
+    def _insert(self, route: LogicalRoute) -> bool:
+        """Insert a route, keeping the per-destination list bounded and sorted."""
+        dest = route.destination
+        if dest == self.own_hnid:
+            return False
+        existing = self._routes.setdefault(dest, [])
+        # replace any route with the identical path (refresh)
+        existing[:] = [r for r in existing if r.path != route.path]
+        existing.append(route)
+        existing.sort(key=lambda r: (r.logical_hops, r.qos.delay))
+        if len(existing) > self.routes_per_destination:
+            del existing[self.routes_per_destination:]
+        return route in existing
+
+    def prune_expired(self, now: float) -> int:
+        """Drop routes whose QoS measurement is older than ``expiry`` seconds."""
+        dropped = 0
+        for dest in list(self._routes.keys()):
+            kept = [r for r in self._routes[dest] if now - r.qos.measured_at <= self.expiry]
+            dropped += len(self._routes[dest]) - len(kept)
+            if kept:
+                self._routes[dest] = kept
+            else:
+                del self._routes[dest]
+        return dropped
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def destinations(self) -> List[int]:
+        return sorted(self._routes.keys())
+
+    def routes_to(self, destination: int) -> List[LogicalRoute]:
+        return list(self._routes.get(destination, []))
+
+    def best_route(self, destination: int) -> Optional[LogicalRoute]:
+        routes = self._routes.get(destination)
+        return routes[0] if routes else None
+
+    def neighbor_hnids(self) -> List[int]:
+        return sorted(self._neighbor_qos.keys())
+
+    def neighbor_qos(self, neighbor_hnid: int) -> Optional[LinkQoS]:
+        return self._neighbor_qos.get(neighbor_hnid)
+
+    def all_routes(self) -> List[LogicalRoute]:
+        out: List[LogicalRoute] = []
+        for routes in self._routes.values():
+            out.extend(routes)
+        return out
+
+    def advertisement(self) -> List[LogicalRoute]:
+        """Routes advertised in this CH's beacon (best route per destination).
+
+        Advertising only the best route per destination keeps the beacon
+        size linear in the number of reachable CHs, which is what makes the
+        maintenance "local" in the paper's sense.
+        """
+        return [routes[0] for routes in self._routes.values() if routes]
+
+    def route_count(self) -> int:
+        return sum(len(routes) for routes in self._routes.values())
+
+    def next_hop_chid(
+        self, destination: int, chid_lookup: Mapping[int, int]
+    ) -> Optional[int]:
+        """CH node id of the first hop of the best route to ``destination``.
+
+        ``chid_lookup`` maps HNID -> CH node id for the local hypercube.
+        """
+        route = self.best_route(destination)
+        if route is None or route.logical_hops == 0:
+            return None
+        return chid_lookup.get(route.path[1])

@@ -1,0 +1,27 @@
+"""Experiment harness (System S10).
+
+* :mod:`repro.experiments.scenarios` -- :class:`ScenarioConfig` and the
+  builders that assemble a complete simulated network for the HVDB
+  protocol or any baseline.
+* :mod:`repro.experiments.runner` -- run one scenario and collect a
+  :class:`~repro.metrics.collectors.MetricsReport`; sweep helpers used by
+  the benchmark files under ``benchmarks/``.
+"""
+
+from repro.experiments.scenarios import (
+    ScenarioConfig,
+    BuiltScenario,
+    build_scenario,
+    PROTOCOLS,
+)
+from repro.experiments.runner import run_scenario, sweep, ExperimentResult
+
+__all__ = [
+    "ScenarioConfig",
+    "BuiltScenario",
+    "build_scenario",
+    "PROTOCOLS",
+    "run_scenario",
+    "sweep",
+    "ExperimentResult",
+]

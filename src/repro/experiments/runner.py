@@ -1,0 +1,96 @@
+"""Run scenarios and parameter sweeps."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.scenarios import BuiltScenario, ScenarioConfig, build_scenario
+from repro.metrics.collectors import MetricsReport, collect_metrics, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One scenario run: the report plus the scenario it came from."""
+
+    config: ScenarioConfig
+    report: MetricsReport
+    scenario: BuiltScenario
+
+    def row(self, **extra: Any) -> dict:
+        row = self.report.as_row()
+        row.update(extra)
+        return row
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    duration: float = 120.0,
+    mobility_factory=None,
+    before_run: Optional[Callable[[BuiltScenario], None]] = None,
+    during_run: Optional[Callable[[BuiltScenario], None]] = None,
+) -> ExperimentResult:
+    """Build, run and measure one scenario.
+
+    ``before_run`` is called after the scenario is built but before the
+    simulation starts (e.g. to register QoS requirements); ``during_run``
+    is called halfway through the run (e.g. to inject failures) -- the run
+    is split into two halves around it.
+    """
+    scenario = build_scenario(config, mobility_factory)
+    if before_run is not None:
+        before_run(scenario)
+    scenario.start()
+    if during_run is not None:
+        scenario.network.simulator.run(duration / 2.0)
+        during_run(scenario)
+        scenario.network.simulator.run(duration / 2.0)
+    else:
+        scenario.network.simulator.run(duration)
+    report = collect_metrics(
+        scenario.network,
+        protocol=config.protocol,
+        duration=duration,
+        backbone_nodes=scenario.backbone_nodes(),
+        protocol_stats=scenario.protocol_stats(),
+    )
+    return ExperimentResult(config=config, report=report, scenario=scenario)
+
+
+def sweep(
+    base_config: ScenarioConfig,
+    parameter: str,
+    values: Sequence[Any],
+    duration: float = 120.0,
+    extra_overrides: Optional[Dict[str, Any]] = None,
+    mobility_factory=None,
+) -> List[ExperimentResult]:
+    """Run the base scenario once per value of ``parameter``.
+
+    ``parameter`` must be a field of :class:`ScenarioConfig`; the swept
+    value is also attached to each result row under the parameter name.
+    """
+    results: List[ExperimentResult] = []
+    for value in values:
+        overrides = dict(extra_overrides or {})
+        overrides[parameter] = value
+        config = dataclasses.replace(base_config, **overrides)
+        result = run_scenario(config, duration=duration, mobility_factory=mobility_factory)
+        results.append(result)
+    return results
+
+
+def results_table(
+    results: Iterable[ExperimentResult],
+    swept: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Format a list of results as an aligned table (one row per run)."""
+    rows = []
+    for result in results:
+        extra = {}
+        if swept is not None:
+            extra[swept] = getattr(result.config, swept)
+        rows.append(result.row(**extra))
+    return format_table(rows, title)

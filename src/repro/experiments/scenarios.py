@@ -1,0 +1,203 @@
+"""Scenario construction.
+
+A :class:`ScenarioConfig` fully describes one simulation run: deployment
+area, node count, radio range, mobility, multicast groups, traffic and the
+protocol under test.  :func:`build_scenario` turns it into a ready-to-run
+:class:`BuiltScenario` (network + sources + protocol-specific stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.dsm import DSM_PROTOCOL, DsmAgent
+from repro.baselines.flooding import FLOODING_PROTOCOL, FloodingMulticastAgent
+from repro.baselines.sgm import SGM_PROTOCOL, SgmAgent
+from repro.baselines.spbm import SPBM_PROTOCOL, SpbmAgent
+from repro.core.protocol import HVDB_PROTOCOL, HVDBParameters, HVDBStack
+from repro.core.qos import QoSRequirement
+from repro.geo.area import Area
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.static import StaticMobility
+from repro.simulation.groups import MulticastGroupManager
+from repro.simulation.mac import SimpleCsmaMac
+from repro.simulation.network import Network, NetworkConfig
+from repro.simulation.node import MobileNode
+from repro.simulation.radio import UnitDiskRadio
+from repro.simulation.traffic import CbrMulticastSource
+from repro.unicast.router import GEO_PROTOCOL, GeoUnicastAgent
+
+#: protocols the harness knows how to build
+PROTOCOLS = (HVDB_PROTOCOL, FLOODING_PROTOCOL, SGM_PROTOCOL, DSM_PROTOCOL, SPBM_PROTOCOL)
+
+
+@dataclass
+class ScenarioConfig:
+    """Complete description of one simulation run."""
+
+    protocol: str = HVDB_PROTOCOL
+    n_nodes: int = 100
+    area_size: float = 2000.0           #: square area side length, metres
+    radio_range: float = 250.0
+    max_speed: float = 5.0              #: m/s; 0 gives a static network
+    pause_time: float = 5.0
+    mobility_step: float = 1.0
+    seed: int = 1
+
+    # multicast workload
+    n_groups: int = 1
+    group_size: int = 10
+    sources_per_group: int = 1
+    traffic_interval: float = 1.0       #: seconds between CBR packets
+    payload_bytes: int = 512
+    traffic_start: float = 30.0         #: warm-up before data traffic starts
+
+    # HVDB-specific structure
+    vc_cols: int = 8
+    vc_rows: int = 8
+    dimension: int = 4
+    clustering_interval: float = 2.0
+    hvdb_params: Optional[HVDBParameters] = None
+    qos_requirements: Dict[int, QoSRequirement] = field(default_factory=dict)
+
+    # baseline knobs
+    dsm_position_period: float = 15.0
+    spbm_levels: int = 3
+
+    def area(self) -> Area:
+        return Area(self.area_size, self.area_size)
+
+
+@dataclass
+class BuiltScenario:
+    """A ready-to-run scenario."""
+
+    config: ScenarioConfig
+    network: Network
+    groups: MulticastGroupManager
+    sources: List[CbrMulticastSource]
+    stack: Optional[HVDBStack] = None       #: only for the HVDB protocol
+
+    def start(self) -> None:
+        """Start clustering (if any) and the network."""
+        if self.stack is not None:
+            self.stack.start()
+        else:
+            self.network.start()
+
+    def run(self, duration: float) -> None:
+        if self.stack is not None and not self.network.simulator.processed_events:
+            self.start()
+            self.network.simulator.run(duration)
+        else:
+            self.network.run(duration)
+
+    def backbone_nodes(self) -> Optional[List[int]]:
+        if self.stack is not None:
+            return self.stack.model.cluster_heads()
+        return None
+
+    def protocol_stats(self) -> Dict[str, int]:
+        if self.stack is not None:
+            return self.stack.aggregate_stats()
+        return {}
+
+
+def _make_mobility(config: ScenarioConfig, node_ids: Sequence[int]) -> MobilityModel:
+    area = config.area()
+    if config.max_speed <= 0:
+        return StaticMobility(area, node_ids, seed=config.seed)
+    return RandomWaypointMobility(
+        area,
+        node_ids,
+        min_speed=max(0.5, config.max_speed * 0.1),
+        max_speed=config.max_speed,
+        pause_time=config.pause_time,
+        seed=config.seed,
+    )
+
+
+def build_scenario(
+    config: ScenarioConfig,
+    mobility_factory: Optional[Callable[[ScenarioConfig, Sequence[int]], MobilityModel]] = None,
+) -> BuiltScenario:
+    """Assemble a complete scenario for the configured protocol.
+
+    ``mobility_factory`` overrides the default random-waypoint mobility
+    (used e.g. by the group-mobility example).
+    """
+    if config.protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {config.protocol!r}; choose one of {PROTOCOLS}")
+    node_ids = list(range(config.n_nodes))
+    mobility = (
+        mobility_factory(config, node_ids)
+        if mobility_factory is not None
+        else _make_mobility(config, node_ids)
+    )
+    network = Network(
+        NetworkConfig(
+            area=config.area(),
+            radio=UnitDiskRadio(config.radio_range),
+            mac=SimpleCsmaMac(),
+            mobility_step=config.mobility_step,
+            seed=config.seed,
+        ),
+        mobility,
+    )
+    for node_id in node_ids:
+        network.add_node(MobileNode(node_id))
+
+    stack: Optional[HVDBStack] = None
+    if config.protocol == HVDB_PROTOCOL:
+        stack = HVDBStack(
+            network,
+            vc_cols=config.vc_cols,
+            vc_rows=config.vc_rows,
+            dimension=config.dimension,
+            params=config.hvdb_params,
+            clustering_interval=config.clustering_interval,
+            qos_requirements=config.qos_requirements,
+            seed=config.seed,
+        )
+        stack.install_agents()
+    else:
+        for node in network.nodes.values():
+            if config.protocol in (SGM_PROTOCOL, SPBM_PROTOCOL):
+                node.attach_agent(GeoUnicastAgent())
+            if config.protocol == FLOODING_PROTOCOL:
+                node.attach_agent(FloodingMulticastAgent())
+            elif config.protocol == SGM_PROTOCOL:
+                node.attach_agent(SgmAgent())
+            elif config.protocol == DSM_PROTOCOL:
+                node.attach_agent(DsmAgent(config.dsm_position_period))
+            elif config.protocol == SPBM_PROTOCOL:
+                node.attach_agent(SpbmAgent(levels=config.spbm_levels))
+
+    groups = MulticastGroupManager(network, seed=config.seed + 1)
+    sources: List[CbrMulticastSource] = []
+    for g in range(config.n_groups):
+        group_id = g + 1
+        members = groups.create_random_group(
+            group_id, min(config.group_size, config.n_nodes), candidates=node_ids
+        )
+        source_pool = [n for n in node_ids]
+        for s in range(config.sources_per_group):
+            source_node = members[s % len(members)] if members else source_pool[0]
+            sources.append(
+                CbrMulticastSource(
+                    network,
+                    source_node=source_node,
+                    group=group_id,
+                    protocol_name=config.protocol,
+                    interval=config.traffic_interval,
+                    payload_bytes=config.payload_bytes,
+                    start_time=config.traffic_start + 0.37 * s,
+                    jitter=0.2,
+                    seed=config.seed + 100 + s,
+                )
+            )
+    return BuiltScenario(
+        config=config, network=network, groups=groups, sources=sources, stack=stack
+    )

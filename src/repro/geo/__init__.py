@@ -1,0 +1,48 @@
+"""Geometric primitives and the Virtual Circle grid (System S1).
+
+This package provides the geographic substrate the HVDB model is built on:
+
+* :mod:`repro.geo.geometry` -- 2-D points, vectors, distances and motion
+  helpers used by every mobility model and by the radio layer.
+* :mod:`repro.geo.area` -- the rectangular deployment area with wrap /
+  clamp / reflect boundary policies.
+* :mod:`repro.geo.grid` -- the Virtual Circle (VC) grid of the paper's
+  Section 3 and Figure 2: the plane is partitioned into equal circular
+  regions whose centres (VCCs) are laid out on a square lattice.
+* :mod:`repro.geo.location_service` -- the positioning service the paper
+  assumes every mobile node has (GPS-like), with optional error and
+  staleness injection.
+"""
+
+from repro.geo.geometry import (
+    Point,
+    Vector,
+    distance,
+    distance_sq,
+    midpoint,
+    clamp,
+    heading_to_vector,
+    move_towards,
+)
+from repro.geo.area import Area, BoundaryPolicy
+from repro.geo.grid import VirtualCircleGrid, VirtualCircle, GridCoord
+from repro.geo.location_service import LocationService, LocationSample, LocationError
+
+__all__ = [
+    "Point",
+    "Vector",
+    "distance",
+    "distance_sq",
+    "midpoint",
+    "clamp",
+    "heading_to_vector",
+    "move_towards",
+    "Area",
+    "BoundaryPolicy",
+    "VirtualCircleGrid",
+    "VirtualCircle",
+    "GridCoord",
+    "LocationService",
+    "LocationSample",
+    "LocationError",
+]

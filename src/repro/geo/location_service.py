@@ -1,0 +1,110 @@
+"""GPS-like location service.
+
+The paper assumes "each MN can acquire its location information such as
+geographical position, moving velocity, and moving direction, using some
+devices such as a GPS" (Section 3).  In the simulator the ground-truth
+position is always known; this module models the positioning *service* a
+protocol would query, optionally degrading the ground truth with Gaussian
+error and staleness so experiments can probe sensitivity to imperfect
+positioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.geo.geometry import Point, Vector
+
+
+class LocationError(RuntimeError):
+    """Raised when a location query cannot be answered."""
+
+
+@dataclass(frozen=True, slots=True)
+class LocationSample:
+    """One positioning fix: position, velocity and the time it was taken."""
+
+    position: Point
+    velocity: Vector
+    timestamp: float
+
+
+class LocationService:
+    """Per-node positioning service.
+
+    Parameters
+    ----------
+    position_error_std:
+        Standard deviation (metres) of an isotropic Gaussian error added to
+        each reported position.  ``0`` reports ground truth.
+    staleness:
+        Age (seconds) of the reported fix: the service reports the position
+        the node had ``staleness`` seconds ago, extrapolated with the
+        velocity it had then.  ``0`` reports the current fix.
+    rng:
+        ``random.Random``-compatible generator used for the error draws.
+        Required when ``position_error_std > 0``.
+    """
+
+    def __init__(
+        self,
+        position_error_std: float = 0.0,
+        staleness: float = 0.0,
+        rng=None,
+    ) -> None:
+        if position_error_std < 0:
+            raise ValueError("position_error_std must be non-negative")
+        if staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        if position_error_std > 0 and rng is None:
+            raise ValueError("rng is required when position_error_std > 0")
+        self.position_error_std = position_error_std
+        self.staleness = staleness
+        self._rng = rng
+        self._history: list[LocationSample] = []
+        self._max_history = 64
+
+    # ------------------------------------------------------------------
+    def record(self, position: Point, velocity: Vector, now: float) -> None:
+        """Record the node's true state at time ``now``.
+
+        The simulator calls this whenever a node moves; the service keeps a
+        short history so stale fixes can be served.
+        """
+        self._history.append(LocationSample(position, velocity, now))
+        if len(self._history) > self._max_history:
+            del self._history[: len(self._history) - self._max_history]
+
+    def query(self, now: float) -> LocationSample:
+        """Return the fix the service would report at time ``now``."""
+        if not self._history:
+            raise LocationError("no position has been recorded yet")
+        target_time = now - self.staleness
+        sample = self._sample_at(target_time)
+        position = sample.position
+        if self.position_error_std > 0:
+            position = Point(
+                position.x + self._rng.gauss(0.0, self.position_error_std),
+                position.y + self._rng.gauss(0.0, self.position_error_std),
+            )
+        return LocationSample(position, sample.velocity, now)
+
+    def last_known(self) -> Optional[LocationSample]:
+        """The most recent ground-truth sample, or ``None`` if empty."""
+        return self._history[-1] if self._history else None
+
+    # ------------------------------------------------------------------
+    def _sample_at(self, target_time: float) -> LocationSample:
+        """Most recent recorded sample not newer than ``target_time``.
+
+        Falls back to the oldest sample when the requested time predates
+        the history (e.g. right after the node joins the network).
+        """
+        best = self._history[0]
+        for sample in self._history:
+            if sample.timestamp <= target_time:
+                best = sample
+            else:
+                break
+        return best

@@ -1,0 +1,91 @@
+"""Assemble a full metrics report for one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.metrics.delivery import DeliveryMetrics, compute_delivery_metrics
+from repro.metrics.fairness import LoadBalanceMetrics, compute_load_balance
+from repro.metrics.overhead import OverheadMetrics, compute_overhead_metrics
+from repro.simulation.network import Network
+
+
+@dataclass
+class MetricsReport:
+    """Everything an experiment reports for one run."""
+
+    protocol: str
+    node_count: int
+    duration: float
+    delivery: DeliveryMetrics
+    overhead: OverheadMetrics
+    load_balance: LoadBalanceMetrics
+    backbone_load_balance: Optional[LoadBalanceMetrics] = None
+    protocol_stats: Dict[str, int] = field(default_factory=dict)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        """Flat dictionary for table printing."""
+        row = {
+            "protocol": self.protocol,
+            "nodes": self.node_count,
+        }
+        row.update(self.delivery.as_row())
+        row.update(self.overhead.as_row())
+        row.update(self.load_balance.as_row())
+        row.update({k: round(v, 4) if isinstance(v, float) else v for k, v in self.extras.items()})
+        return row
+
+
+def collect_metrics(
+    network: Network,
+    protocol: str,
+    duration: float,
+    backbone_nodes: Optional[Iterable[int]] = None,
+    protocol_stats: Optional[Dict[str, int]] = None,
+    group: Optional[int] = None,
+) -> MetricsReport:
+    """Build a :class:`MetricsReport` from a finished simulation.
+
+    ``backbone_nodes`` (e.g. the cluster heads) adds a second load-balance
+    view restricted to the backbone, which is where the paper's
+    load-balancing claim applies.
+    """
+    return MetricsReport(
+        protocol=protocol,
+        node_count=len(network.nodes),
+        duration=duration,
+        delivery=compute_delivery_metrics(network, group=group),
+        overhead=compute_overhead_metrics(network, duration),
+        load_balance=compute_load_balance(network),
+        backbone_load_balance=(
+            compute_load_balance(network, backbone_nodes) if backbone_nodes else None
+        ),
+        protocol_stats=dict(protocol_stats or {}),
+    )
+
+
+def format_table(rows: Iterable[dict], title: Optional[str] = None) -> str:
+    """Render rows (list of flat dicts) as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

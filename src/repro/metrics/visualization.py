@@ -1,0 +1,129 @@
+"""Plain-text visualisation helpers.
+
+Terminal-friendly renderings of the structures the paper draws in its
+figures: the virtual-circle grid with cluster heads (Figure 2), one logical
+hypercube's occupancy with its HNID labels (Figure 3), and simple ASCII bar
+charts / sparklines for metric series (delivery over time, per-node load).
+They are used by the examples and are handy when debugging scenarios; none
+of them require any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.hvdb import HVDBModel
+from repro.core.identifiers import LogicalAddressSpace
+from repro.geo.grid import GridCoord
+
+#: characters used by :func:`sparkline`, from lowest to highest
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_vc_grid(
+    space: LogicalAddressSpace,
+    cluster_heads: Mapping[GridCoord, int],
+    members_per_vc: Optional[Mapping[GridCoord, int]] = None,
+) -> str:
+    """Render the virtual-circle grid (paper Figure 2) as text.
+
+    Each cell shows the CH node id (or ``--`` when the VC has no cluster
+    head); thick separators mark the borders between logical hypercube
+    regions.  Row 0 is drawn at the bottom so the picture matches the
+    geographic y-axis.
+    """
+    grid = space.grid
+    cell_width = 5
+    lines: List[str] = []
+    for row in reversed(range(grid.rows)):
+        if (row + 1) % space.block_rows == 0 and row != grid.rows - 1:
+            lines.append("=" * ((cell_width + 1) * grid.cols + 1))
+        cells: List[str] = []
+        for col in range(grid.cols):
+            ch = cluster_heads.get((col, row))
+            label = f"{ch:>4}" if ch is not None else "  --"
+            if members_per_vc is not None:
+                count = members_per_vc.get((col, row), 0)
+                label = f"{label[:2]}{count:>2}" if ch is None else label
+            separator = "|" if col % space.block_cols == 0 else " "
+            cells.append(f"{separator}{label}")
+        lines.append("".join(cells) + "|")
+    header = (
+        f"VC grid {grid.cols}x{grid.rows}, "
+        f"{space.hypercube_count()} hypercube regions of "
+        f"{space.block_cols}x{space.block_rows} VCs (cluster-head ids; -- = no CH)"
+    )
+    return "\n".join([header] + lines)
+
+
+def render_hypercube_occupancy(model: HVDBModel, hid: int) -> str:
+    """Render one logical hypercube region (paper Figure 3) as text.
+
+    Each cell shows the HNID bit string; occupied cells (an actual CH
+    exists) are bracketed, absent ones are shown bare.
+    """
+    space = model.space
+    cube = model.hypercube(hid)
+    lines: List[str] = [
+        f"hypercube {hid} (mesh node {space.mesh_of_hid(hid)}): "
+        f"{len(cube)}/{1 << space.dimension} nodes present"
+    ]
+    base_col = space.mesh_of_hid(hid)[0] * space.block_cols
+    base_row = space.mesh_of_hid(hid)[1] * space.block_rows
+    for local_row in reversed(range(space.block_rows)):
+        cells: List[str] = []
+        for local_col in range(space.block_cols):
+            vc = (base_col + local_col, base_row + local_row)
+            hnid = space.hnid_of(vc)
+            bits = format(hnid, f"0{space.dimension}b")
+            cells.append(f"[{bits}]" if hnid in cube else f" {bits} ")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart of labelled values."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for key, value in values.items():
+        length = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(f"{str(key).ljust(label_width)} | {'#' * length} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """One-line sparkline of a numeric series (e.g. windowed delivery ratio)."""
+    if not series:
+        return ""
+    low = min(series) if lo is None else lo
+    high = max(series) if hi is None else hi
+    span = high - low
+    chars = []
+    for value in series:
+        if span <= 0:
+            level = len(_SPARK_LEVELS) - 1
+        else:
+            frac = (value - low) / span
+            level = int(round(frac * (len(_SPARK_LEVELS) - 1)))
+        level = max(0, min(len(_SPARK_LEVELS) - 1, level))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def render_delivery_timeline(series: Sequence[Tuple[float, float]], window: float) -> str:
+    """Render a windowed delivery-ratio series as a labelled sparkline."""
+    if not series:
+        return "(no delivery data)"
+    ratios = [ratio for _, ratio in series]
+    line = sparkline(ratios, lo=0.0, hi=1.0)
+    return (
+        f"delivery ratio per {window:g}s window "
+        f"(min {min(ratios):.2f}, max {max(ratios):.2f}):\n{line}"
+    )

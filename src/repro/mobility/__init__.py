@@ -1,0 +1,39 @@
+"""Mobility models (System S3).
+
+MANET nodes move; the clustering layer's mobility-prediction CH election
+and every evaluation experiment need realistic motion.  Five models are
+provided, all sharing the :class:`~repro.mobility.base.MobilityModel`
+interface (per-node state advanced in discrete time steps inside an
+:class:`~repro.geo.area.Area`):
+
+* :class:`~repro.mobility.static.StaticMobility` -- nodes never move
+  (useful for deterministic structural tests).
+* :class:`~repro.mobility.random_waypoint.RandomWaypointMobility` -- the
+  standard MANET evaluation model: pick a destination, travel at a random
+  speed, pause, repeat.
+* :class:`~repro.mobility.random_walk.RandomWalkMobility` -- memoryless
+  direction changes at fixed epochs.
+* :class:`~repro.mobility.gauss_markov.GaussMarkovMobility` -- temporally
+  correlated velocity (tunable memory), avoids the sharp-turn artefacts of
+  random walk.
+* :class:`~repro.mobility.group_mobility.ReferencePointGroupMobility` --
+  RPGM: groups follow a logical centre (battlefield platoons, rescue
+  teams), matching the paper's motivating scenarios.
+"""
+
+from repro.mobility.base import MobilityModel, NodeMotionState
+from repro.mobility.static import StaticMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.gauss_markov import GaussMarkovMobility
+from repro.mobility.group_mobility import ReferencePointGroupMobility
+
+__all__ = [
+    "MobilityModel",
+    "NodeMotionState",
+    "StaticMobility",
+    "RandomWaypointMobility",
+    "RandomWalkMobility",
+    "GaussMarkovMobility",
+    "ReferencePointGroupMobility",
+]

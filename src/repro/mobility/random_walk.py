@@ -1,0 +1,64 @@
+"""Random Walk (random direction at fixed epochs) mobility."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from repro.geo.area import Area
+from repro.geo.geometry import Point, Vector, heading_to_vector
+from repro.mobility.base import MobilityModel, NodeMotionState
+
+
+class RandomWalkMobility(MobilityModel):
+    """Memoryless random walk.
+
+    Every ``epoch`` seconds each node draws a fresh uniformly random
+    heading and a speed from ``[min_speed, max_speed]`` and moves in a
+    straight line until the next epoch.  Boundary handling (reflection by
+    default) is inherited from :class:`MobilityModel`.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        node_ids: Iterable[int],
+        min_speed: float = 1.0,
+        max_speed: float = 5.0,
+        epoch: float = 10.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if min_speed < 0 or max_speed < min_speed:
+            raise ValueError("require 0 <= min_speed <= max_speed")
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.epoch = epoch
+        self._until_redraw: Dict[int, float] = {}
+        super().__init__(area, node_ids, seed)
+
+    def _draw_velocity(self) -> Vector:
+        heading = self.rng.uniform(-math.pi, math.pi)
+        speed = self.rng.uniform(self.min_speed, self.max_speed)
+        return heading_to_vector(heading, speed)
+
+    def _initial_state(self, node_id: int) -> NodeMotionState:
+        self._until_redraw[node_id] = self.epoch
+        return NodeMotionState(self._uniform_position(), self._draw_velocity())
+
+    def _step(self, node_id: int, state: NodeMotionState, dt: float) -> NodeMotionState:
+        position = state.position
+        velocity = state.velocity
+        remaining = dt
+        until = self._until_redraw[node_id]
+        while remaining > 1e-12:
+            chunk = min(remaining, until)
+            position = Point(position.x + velocity.dx * chunk, position.y + velocity.dy * chunk)
+            remaining -= chunk
+            until -= chunk
+            if until <= 1e-12:
+                velocity = self._draw_velocity()
+                until = self.epoch
+        self._until_redraw[node_id] = until
+        return NodeMotionState(position, velocity)

@@ -1,0 +1,107 @@
+"""Random Waypoint mobility.
+
+The de-facto standard model for MANET protocol evaluation: each node picks
+a uniformly random destination in the area, travels towards it in a
+straight line at a speed drawn uniformly from ``[min_speed, max_speed]``,
+pauses for ``pause_time`` seconds on arrival, then repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.geo.area import Area
+from repro.geo.geometry import Point, Vector, distance, move_towards
+from repro.mobility.base import MobilityModel, NodeMotionState
+
+
+@dataclass
+class _WaypointState:
+    destination: Point
+    speed: float
+    pause_remaining: float
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Classic random waypoint model.
+
+    Parameters
+    ----------
+    min_speed, max_speed:
+        Speed range in m/s.  ``min_speed`` should be kept strictly positive
+        to avoid the well-known speed-decay degeneracy of the model.
+    pause_time:
+        Pause duration at each waypoint, seconds.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        node_ids: Iterable[int],
+        min_speed: float = 1.0,
+        max_speed: float = 10.0,
+        pause_time: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ValueError("require 0 < min_speed <= max_speed")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+        self._trips: Dict[int, _WaypointState] = {}
+        super().__init__(area, node_ids, seed)
+
+    def _new_trip(self, origin: Point) -> _WaypointState:
+        destination = self._uniform_position()
+        speed = self.rng.uniform(self.min_speed, self.max_speed)
+        return _WaypointState(destination, speed, 0.0)
+
+    def _initial_state(self, node_id: int) -> NodeMotionState:
+        position = self._uniform_position()
+        trip = self._new_trip(position)
+        self._trips[node_id] = trip
+        velocity = _velocity_towards(position, trip.destination, trip.speed)
+        return NodeMotionState(position, velocity)
+
+    def _step(self, node_id: int, state: NodeMotionState, dt: float) -> NodeMotionState:
+        trip = self._trips[node_id]
+        position = state.position
+        remaining = dt
+        while remaining > 1e-12:
+            if trip.pause_remaining > 0:
+                consumed = min(trip.pause_remaining, remaining)
+                trip.pause_remaining -= consumed
+                remaining -= consumed
+                if trip.pause_remaining > 0:
+                    return NodeMotionState(position, Vector(0.0, 0.0))
+                trip = self._new_trip(position)
+                self._trips[node_id] = trip
+                continue
+            gap = distance(position, trip.destination)
+            step = trip.speed * remaining
+            if step < gap:
+                position = move_towards(position, trip.destination, step)
+                remaining = 0.0
+            else:
+                # arrive and start pausing
+                time_to_arrive = gap / trip.speed if trip.speed > 0 else 0.0
+                position = trip.destination
+                remaining -= time_to_arrive
+                trip.pause_remaining = self.pause_time
+                if self.pause_time == 0.0:
+                    trip = self._new_trip(position)
+                    self._trips[node_id] = trip
+        velocity = (
+            Vector(0.0, 0.0)
+            if trip.pause_remaining > 0
+            else _velocity_towards(position, trip.destination, trip.speed)
+        )
+        return NodeMotionState(position, velocity)
+
+
+def _velocity_towards(origin: Point, target: Point, speed: float) -> Vector:
+    direction = origin.vector_to(target).normalized()
+    return direction.scaled(speed)

@@ -1,0 +1,43 @@
+"""Static placement: nodes never move.
+
+Used for deterministic structural tests (HVDB construction, identifier
+mapping) and as the zero-speed end of mobility sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.geo.area import Area
+from repro.geo.geometry import Point, Vector
+from repro.mobility.base import MobilityModel, NodeMotionState
+
+
+class StaticMobility(MobilityModel):
+    """Nodes stay where they were placed.
+
+    Positions may be supplied explicitly via ``positions``; any node
+    without an explicit position is placed uniformly at random.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        node_ids: Iterable[int],
+        positions: Optional[Dict[int, Point]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._explicit = dict(positions) if positions else {}
+        for node_id, position in self._explicit.items():
+            if not area.contains(position):
+                raise ValueError(f"node {node_id} position {position} outside area")
+        super().__init__(area, node_ids, seed)
+
+    def _initial_state(self, node_id: int) -> NodeMotionState:
+        position = self._explicit.get(node_id)
+        if position is None:
+            position = self._uniform_position()
+        return NodeMotionState(position, Vector(0.0, 0.0))
+
+    def _step(self, node_id: int, state: NodeMotionState, dt: float) -> NodeMotionState:
+        return state

@@ -1,0 +1,53 @@
+"""Discrete-event MANET simulator (System S4).
+
+The paper evaluates (and motivates) its protocol on large-scale mobile ad
+hoc networks; no public artefact exists, so this package provides the
+packet-level simulation substrate every experiment runs on:
+
+* :mod:`repro.simulation.engine` -- the discrete-event scheduler (event
+  heap, simulation clock, periodic timers).
+* :mod:`repro.simulation.packet` -- packets and per-packet accounting.
+* :mod:`repro.simulation.radio` -- propagation/reception models (unit
+  disk, log-distance shadowing).
+* :mod:`repro.simulation.mac` -- a simplified shared-medium link layer:
+  per-hop transmission delay from bandwidth + contention, loss injection.
+* :mod:`repro.simulation.node` -- mobile nodes carrying protocol agents.
+* :mod:`repro.simulation.network` -- the network: nodes + mobility +
+  radio + MAC + neighbour discovery + delivery bookkeeping.
+* :mod:`repro.simulation.agent` -- the protocol-agent interface all
+  multicast protocols (HVDB and baselines) implement.
+* :mod:`repro.simulation.traffic` -- CBR / Poisson multicast sources.
+* :mod:`repro.simulation.groups` -- multicast group membership with churn.
+"""
+
+from repro.simulation.engine import Simulator, Event, PeriodicTimer
+from repro.simulation.packet import Packet, PacketKind
+from repro.simulation.radio import RadioModel, UnitDiskRadio, LogDistanceRadio
+from repro.simulation.mac import MacModel, SimpleCsmaMac
+from repro.simulation.node import MobileNode, NodeStats
+from repro.simulation.network import Network, NetworkConfig
+from repro.simulation.agent import ProtocolAgent
+from repro.simulation.traffic import CbrMulticastSource, PoissonMulticastSource
+from repro.simulation.groups import MulticastGroupManager, GroupEvent
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "PeriodicTimer",
+    "Packet",
+    "PacketKind",
+    "RadioModel",
+    "UnitDiskRadio",
+    "LogDistanceRadio",
+    "MacModel",
+    "SimpleCsmaMac",
+    "MobileNode",
+    "NodeStats",
+    "Network",
+    "NetworkConfig",
+    "ProtocolAgent",
+    "CbrMulticastSource",
+    "PoissonMulticastSource",
+    "MulticastGroupManager",
+    "GroupEvent",
+]

@@ -1,0 +1,95 @@
+"""Simplified shared-medium link layer.
+
+The HVDB protocol lives far above the MAC; what its evaluation needs from
+the link layer is (1) a per-hop latency that grows with load, (2) a finite
+per-node bandwidth so overhead translates into congestion, and (3) frame
+loss.  :class:`SimpleCsmaMac` models exactly that: transmission time =
+frame size / bandwidth, queueing approximated by a contention factor that
+scales with the number of neighbours currently contending, plus a constant
+propagation/processing delay and an independent loss probability on top of
+whatever the radio model decides.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+class MacModel(abc.ABC):
+    """Computes per-hop delay and loss for frame transmissions."""
+
+    @abc.abstractmethod
+    def transmission_delay(self, size_bytes: int, contenders: int) -> float:
+        """Seconds between hand-over to the MAC and reception at a neighbour."""
+
+    @abc.abstractmethod
+    def loss_probability(self, contenders: int) -> float:
+        """Frame loss probability added by the MAC (collisions, queue drops)."""
+
+
+@dataclass
+class SimpleCsmaMac(MacModel):
+    """CSMA-flavoured MAC abstraction.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Raw link bandwidth in bits per second (2 Mb/s is the classical
+        802.11 figure used in MANET papers of the period).
+    base_latency:
+        Constant per-hop processing + propagation delay in seconds.
+    contention_factor:
+        Extra delay per contending neighbour, expressed as a multiple of
+        the frame transmission time (models carrier-sense deferral).
+    collision_probability_per_contender:
+        Additional loss probability contributed by each contending
+        neighbour, capped at ``max_collision_probability``.
+    """
+
+    bandwidth_bps: float = 2_000_000.0
+    base_latency: float = 0.002
+    contention_factor: float = 0.10
+    collision_probability_per_contender: float = 0.004
+    max_collision_probability: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.base_latency < 0 or self.contention_factor < 0:
+            raise ValueError("latency parameters must be non-negative")
+        if not 0 <= self.collision_probability_per_contender <= 1:
+            raise ValueError("collision probability per contender must be in [0, 1]")
+        if not 0 <= self.max_collision_probability <= 1:
+            raise ValueError("max collision probability must be in [0, 1]")
+
+    def transmission_delay(self, size_bytes: int, contenders: int) -> float:
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        if contenders < 0:
+            raise ValueError("contenders must be non-negative")
+        frame_time = (size_bytes * 8.0) / self.bandwidth_bps
+        deferral = frame_time * self.contention_factor * contenders
+        return self.base_latency + frame_time + deferral
+
+    def loss_probability(self, contenders: int) -> float:
+        if contenders < 0:
+            raise ValueError("contenders must be non-negative")
+        return min(
+            self.max_collision_probability,
+            self.collision_probability_per_contender * contenders,
+        )
+
+
+@dataclass
+class IdealMac(MacModel):
+    """Loss-free, constant-delay MAC for unit tests and structural studies."""
+
+    delay: float = 0.001
+
+    def transmission_delay(self, size_bytes: int, contenders: int) -> float:
+        return self.delay
+
+    def loss_probability(self, contenders: int) -> float:
+        return 0.0

@@ -1,0 +1,24 @@
+"""Location-based unicast routing (System S6).
+
+The HVDB multicast routing "assume[s] to use some location-based unicast
+routing algorithm to send a packet from one logical hypercube to its next
+hop logical hypercube" (paper Section 4.3).  This package provides that
+substrate: greedy geographic forwarding with a right-hand-style recovery
+detour (GPSR-like), packaged as a protocol agent every node runs.
+
+* :mod:`repro.unicast.greedy` -- pure next-hop selection functions
+  (greedy progress, recovery candidate ordering).
+* :mod:`repro.unicast.router` -- :class:`GeoUnicastAgent`, the per-node
+  forwarding agent plus the tunnelling API protocols use to send a packet
+  to a distant node or to a geographic position.
+"""
+
+from repro.unicast.greedy import greedy_next_hop, recovery_next_hop
+from repro.unicast.router import GeoUnicastAgent, GEO_PROTOCOL
+
+__all__ = [
+    "greedy_next_hop",
+    "recovery_next_hop",
+    "GeoUnicastAgent",
+    "GEO_PROTOCOL",
+]

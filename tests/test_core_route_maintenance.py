@@ -1,0 +1,159 @@
+"""Unit tests for proactive local logical route maintenance (paper Figure 4)."""
+
+import pytest
+
+from repro.core.route_maintenance import LinkQoS, LogicalRoute, LogicalRouteTable
+
+
+def qos(delay=0.01, bandwidth=1e6, at=0.0):
+    return LinkQoS(delay=delay, bandwidth=bandwidth, measured_at=at)
+
+
+class TestLinkQoS:
+    def test_combination_adds_delay_takes_min_bandwidth(self):
+        combined = qos(0.01, 2e6, at=5.0).combined_with(qos(0.02, 1e6, at=3.0))
+        assert combined.delay == pytest.approx(0.03)
+        assert combined.bandwidth == pytest.approx(1e6)
+        assert combined.measured_at == 3.0
+
+
+class TestLogicalRoute:
+    def test_destination_and_hops(self):
+        route = LogicalRoute(path=(0, 1, 3), qos=qos())
+        assert route.destination == 3
+        assert route.logical_hops == 2
+
+    def test_extended(self):
+        route = LogicalRoute(path=(0, 1), qos=qos(0.01, 2e6))
+        longer = route.extended(3, qos(0.02, 1e6))
+        assert longer.path == (0, 1, 3)
+        assert longer.qos.delay == pytest.approx(0.03)
+        assert longer.qos.bandwidth == pytest.approx(1e6)
+
+
+class TestRouteTable:
+    def test_direct_neighbor_creates_one_hop_route(self):
+        table = LogicalRouteTable(own_hnid=0)
+        table.update_neighbor(1, qos())
+        best = table.best_route(1)
+        assert best is not None
+        assert best.path == (0, 1)
+        assert best.logical_hops == 1
+
+    def test_self_neighbor_rejected(self):
+        table = LogicalRouteTable(own_hnid=0)
+        with pytest.raises(ValueError):
+            table.update_neighbor(0, qos())
+
+    def test_advertisement_integration_builds_multihop_routes(self):
+        # the paper's example: routes of CH 1000 include the 2-logical-hop
+        # route 1000 -> 1100 -> 1101
+        table = LogicalRouteTable(own_hnid=0b1000)
+        table.update_neighbor(0b1100, qos(0.01))
+        advertised = [LogicalRoute(path=(0b1100, 0b1101), qos=qos(0.02))]
+        accepted = table.integrate_advertisement(0b1100, advertised, now=0.0)
+        assert accepted == 1
+        route = table.best_route(0b1101)
+        assert route.path == (0b1000, 0b1100, 0b1101)
+        assert route.logical_hops == 2
+        assert route.qos.delay == pytest.approx(0.03)
+
+    def test_advertisement_from_unknown_neighbor_ignored(self):
+        table = LogicalRouteTable(own_hnid=0)
+        accepted = table.integrate_advertisement(
+            1, [LogicalRoute(path=(1, 3), qos=qos())], now=0.0
+        )
+        assert accepted == 0
+        assert table.destinations() == []
+
+    def test_looping_routes_rejected(self):
+        table = LogicalRouteTable(own_hnid=0)
+        table.update_neighbor(1, qos())
+        looping = [LogicalRoute(path=(1, 0), qos=qos()), LogicalRoute(path=(1, 3, 0), qos=qos())]
+        assert table.integrate_advertisement(1, looping, now=0.0) == 0
+
+    def test_hop_bound_enforced(self):
+        table = LogicalRouteTable(own_hnid=0, max_logical_hops=2)
+        table.update_neighbor(1, qos())
+        too_long = [LogicalRoute(path=(1, 3, 7), qos=qos())]   # would be 3 hops from 0
+        assert table.integrate_advertisement(1, too_long, now=0.0) == 0
+        ok = [LogicalRoute(path=(1, 3), qos=qos())]
+        assert table.integrate_advertisement(1, ok, now=0.0) == 1
+
+    def test_multiple_routes_per_destination_kept_sorted(self):
+        table = LogicalRouteTable(own_hnid=0, routes_per_destination=2)
+        table.update_neighbor(1, qos(0.01))
+        table.update_neighbor(2, qos(0.02))
+        table.integrate_advertisement(1, [LogicalRoute(path=(1, 3), qos=qos(0.01))], now=0.0)
+        table.integrate_advertisement(2, [LogicalRoute(path=(2, 3), qos=qos(0.05))], now=0.0)
+        routes = table.routes_to(3)
+        assert len(routes) == 2
+        assert routes[0].qos.delay <= routes[1].qos.delay
+        # the two routes are node-disjoint alternatives through different neighbours
+        assert {r.path[1] for r in routes} == {1, 2}
+
+    def test_routes_per_destination_cap(self):
+        table = LogicalRouteTable(own_hnid=0, routes_per_destination=1)
+        table.update_neighbor(1, qos(0.01))
+        table.update_neighbor(2, qos(0.02))
+        table.integrate_advertisement(1, [LogicalRoute(path=(1, 3), qos=qos(0.01))], now=0.0)
+        table.integrate_advertisement(2, [LogicalRoute(path=(2, 3), qos=qos(0.05))], now=0.0)
+        assert len(table.routes_to(3)) == 1
+
+    def test_refresh_replaces_same_path(self):
+        table = LogicalRouteTable(own_hnid=0)
+        table.update_neighbor(1, qos(0.01, at=0.0))
+        table.update_neighbor(1, qos(0.05, at=10.0))
+        routes = table.routes_to(1)
+        assert len(routes) == 1
+        assert routes[0].qos.delay == pytest.approx(0.05)
+
+    def test_remove_neighbor_drops_dependent_routes(self):
+        table = LogicalRouteTable(own_hnid=0)
+        table.update_neighbor(1, qos())
+        table.update_neighbor(2, qos())
+        table.integrate_advertisement(1, [LogicalRoute(path=(1, 3), qos=qos())], now=0.0)
+        table.integrate_advertisement(2, [LogicalRoute(path=(2, 3), qos=qos())], now=0.0)
+        table.remove_neighbor(1)
+        assert table.neighbor_hnids() == [2]
+        remaining = table.routes_to(3)
+        assert all(r.path[1] == 2 for r in remaining)
+        assert table.best_route(1) is None
+
+    def test_prune_expired(self):
+        table = LogicalRouteTable(own_hnid=0, expiry=5.0)
+        table.update_neighbor(1, qos(at=0.0))
+        assert table.prune_expired(now=10.0) == 1
+        assert table.best_route(1) is None
+
+    def test_advertisement_one_route_per_destination(self):
+        table = LogicalRouteTable(own_hnid=0, routes_per_destination=3)
+        table.update_neighbor(1, qos(0.01))
+        table.update_neighbor(2, qos(0.02))
+        table.integrate_advertisement(1, [LogicalRoute(path=(1, 3), qos=qos())], now=0.0)
+        table.integrate_advertisement(2, [LogicalRoute(path=(2, 3), qos=qos())], now=0.0)
+        adv = table.advertisement()
+        destinations = [r.destination for r in adv]
+        assert len(destinations) == len(set(destinations))
+        assert set(destinations) == {1, 2, 3}
+
+    def test_next_hop_chid(self):
+        table = LogicalRouteTable(own_hnid=0)
+        table.update_neighbor(1, qos())
+        table.integrate_advertisement(1, [LogicalRoute(path=(1, 3), qos=qos())], now=0.0)
+        chid_lookup = {1: 101, 3: 103}
+        assert table.next_hop_chid(3, chid_lookup) == 101
+        assert table.next_hop_chid(9, chid_lookup) is None
+
+    def test_route_count_and_all_routes(self):
+        table = LogicalRouteTable(own_hnid=0)
+        table.update_neighbor(1, qos())
+        table.update_neighbor(2, qos())
+        assert table.route_count() == 2
+        assert len(table.all_routes()) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogicalRouteTable(own_hnid=0, max_logical_hops=0)
+        with pytest.raises(ValueError):
+            LogicalRouteTable(own_hnid=0, routes_per_destination=0)

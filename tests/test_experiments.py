@@ -1,0 +1,139 @@
+"""Tests of the experiment harness (scenario building, runs, sweeps)."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.flooding import FLOODING_PROTOCOL
+from repro.core.protocol import HVDB_PROTOCOL
+from repro.experiments.runner import results_table, run_scenario, sweep
+from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig, build_scenario
+
+
+def tiny_config(protocol=HVDB_PROTOCOL, **overrides):
+    base = ScenarioConfig(
+        protocol=protocol,
+        n_nodes=30,
+        area_size=800.0,
+        radio_range=250.0,
+        max_speed=2.0,
+        group_size=5,
+        traffic_start=15.0,
+        traffic_interval=2.0,
+        vc_cols=8,
+        vc_rows=8,
+        dimension=4,
+        seed=5,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestScenarioBuilding:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario(tiny_config(protocol="nonexistent"))
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_every_protocol_builds(self, protocol):
+        scenario = build_scenario(tiny_config(protocol=protocol))
+        assert len(scenario.network.nodes) == 30
+        assert scenario.sources
+        for node in scenario.network.nodes.values():
+            assert node.has_agent(protocol)
+
+    def test_hvdb_scenario_has_stack(self):
+        scenario = build_scenario(tiny_config())
+        assert scenario.stack is not None
+        assert scenario.backbone_nodes() is not None
+
+    def test_baseline_scenario_has_no_stack(self):
+        scenario = build_scenario(tiny_config(protocol=FLOODING_PROTOCOL))
+        assert scenario.stack is None
+        assert scenario.backbone_nodes() is None
+        assert scenario.protocol_stats() == {}
+
+    def test_groups_created_with_requested_size(self):
+        scenario = build_scenario(tiny_config(n_groups=2, group_size=4))
+        assert len(scenario.groups.members(1)) == 4
+        assert len(scenario.groups.members(2)) == 4
+
+    def test_static_when_speed_zero(self):
+        scenario = build_scenario(tiny_config(max_speed=0.0))
+        before = {n: scenario.network.position_of(n) for n in scenario.network.nodes}
+        scenario.start()
+        scenario.network.simulator.run(10.0)
+        after = {n: scenario.network.position_of(n) for n in scenario.network.nodes}
+        assert before == after
+
+
+class TestRunner:
+    def test_run_scenario_produces_report(self):
+        result = run_scenario(tiny_config(), duration=40.0)
+        assert result.report.protocol == HVDB_PROTOCOL
+        assert result.report.node_count == 30
+        assert result.report.delivery.packets_originated > 0
+        assert 0.0 <= result.report.delivery.delivery_ratio <= 1.0
+        assert result.report.overhead.total_transmissions > 0
+
+    def test_flooding_delivers_on_connected_network(self):
+        result = run_scenario(tiny_config(protocol=FLOODING_PROTOCOL), duration=40.0)
+        assert result.report.delivery.delivery_ratio > 0.5
+
+    def test_during_run_hook_called_midway(self):
+        calls = []
+        run_scenario(
+            tiny_config(protocol=FLOODING_PROTOCOL),
+            duration=40.0,
+            during_run=lambda scenario: calls.append(scenario.network.simulator.now),
+        )
+        assert len(calls) == 1
+        assert calls[0] == pytest.approx(20.0)
+
+    def test_before_run_hook(self):
+        seen = []
+        run_scenario(
+            tiny_config(protocol=FLOODING_PROTOCOL),
+            duration=30.0,
+            before_run=lambda scenario: seen.append(len(scenario.network.nodes)),
+        )
+        assert seen == [30]
+
+    def test_row_includes_extras(self):
+        result = run_scenario(tiny_config(protocol=FLOODING_PROTOCOL), duration=30.0)
+        row = result.row(swept_value=42)
+        assert row["swept_value"] == 42
+        assert row["protocol"] == FLOODING_PROTOCOL
+
+
+class TestSweep:
+    def test_sweep_varies_parameter(self):
+        results = sweep(
+            tiny_config(protocol=FLOODING_PROTOCOL),
+            parameter="n_nodes",
+            values=[20, 40],
+            duration=30.0,
+        )
+        assert [r.config.n_nodes for r in results] == [20, 40]
+        assert [r.report.node_count for r in results] == [20, 40]
+
+    def test_sweep_extra_overrides(self):
+        results = sweep(
+            tiny_config(protocol=FLOODING_PROTOCOL),
+            parameter="max_speed",
+            values=[0.0],
+            duration=20.0,
+            extra_overrides={"n_nodes": 25},
+        )
+        assert results[0].config.n_nodes == 25
+
+    def test_results_table_contains_swept_column(self):
+        results = sweep(
+            tiny_config(protocol=FLOODING_PROTOCOL),
+            parameter="n_nodes",
+            values=[20],
+            duration=20.0,
+        )
+        table = results_table(results, swept="n_nodes", title="demo")
+        assert "demo" in table
+        assert "n_nodes" in table
+        assert "20" in table

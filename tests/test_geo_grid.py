@@ -1,0 +1,92 @@
+"""Unit tests for the Virtual Circle grid (paper Figure 2)."""
+
+import math
+
+import pytest
+
+from repro.geo.area import Area
+from repro.geo.geometry import Point
+from repro.geo.grid import VirtualCircleGrid
+
+
+class TestGridConstruction:
+    def test_figure2_grid_has_64_circles(self, small_area):
+        grid = VirtualCircleGrid(small_area, 8, 8)
+        assert len(grid) == 64
+        assert len(grid.circles()) == 64
+
+    def test_invalid_dimensions(self, small_area):
+        with pytest.raises(ValueError):
+            VirtualCircleGrid(small_area, 0, 8)
+        with pytest.raises(ValueError):
+            VirtualCircleGrid(small_area, 8, -1)
+
+    def test_invalid_overlap(self, small_area):
+        with pytest.raises(ValueError):
+            VirtualCircleGrid(small_area, 8, 8, overlap_factor=0.9)
+
+    def test_radius_covers_cell(self, small_area):
+        grid = VirtualCircleGrid(small_area, 8, 8)
+        # radius is half the cell diagonal -> corners of the cell are covered
+        assert grid.radius == pytest.approx(0.5 * math.hypot(125.0, 125.0))
+
+    def test_vcc_positions(self, small_area):
+        grid = VirtualCircleGrid(small_area, 4, 4)
+        assert grid.vcc((0, 0)) == Point(125.0, 125.0)
+        assert grid.vcc((3, 3)) == Point(875.0, 875.0)
+
+
+class TestLookup:
+    def test_coord_of_home_cell(self, grid_8x8):
+        assert grid_8x8.coord_of(Point(10.0, 10.0)) == (0, 0)
+        assert grid_8x8.coord_of(Point(999.0, 999.0)) == (7, 7)
+        assert grid_8x8.coord_of(Point(130.0, 260.0)) == (1, 2)
+
+    def test_coord_of_clamps_outside_points(self, grid_8x8):
+        assert grid_8x8.coord_of(Point(-50.0, 2000.0)) == (0, 7)
+
+    def test_home_circle_contains_point(self, grid_8x8):
+        p = Point(312.0, 440.0)
+        assert grid_8x8.home_circle(p).contains(p)
+
+    def test_every_point_covered_by_home_circle(self, grid_8x8):
+        # sample a lattice of points; full coverage is the invariant that
+        # lets every MN determine "the circle where it resides"
+        for ix in range(0, 1001, 125):
+            for iy in range(0, 1001, 125):
+                p = Point(float(min(ix, 1000)), float(min(iy, 1000)))
+                assert grid_8x8.home_circle(p).contains(p)
+
+    def test_covering_coords_includes_home(self, grid_8x8):
+        p = Point(437.0, 562.0)
+        covering = grid_8x8.covering_coords(p)
+        assert grid_8x8.coord_of(p) in covering
+
+    def test_overlap_region_has_multiple_covering_circles(self, grid_8x8):
+        # a point on a cell boundary lies in the overlap of several circles
+        boundary_point = Point(125.0, 125.0)
+        assert len(grid_8x8.covering_coords(boundary_point)) >= 2
+
+    def test_circle_center_far_point_not_contained(self, grid_8x8):
+        circle = grid_8x8.circle((0, 0))
+        assert not circle.contains(Point(900.0, 900.0))
+
+
+class TestNeighbors:
+    def test_interior_four_neighbors(self, grid_8x8):
+        assert sorted(grid_8x8.neighbors((3, 3))) == [(2, 3), (3, 2), (3, 4), (4, 3)]
+
+    def test_corner_two_neighbors(self, grid_8x8):
+        assert sorted(grid_8x8.neighbors((0, 0))) == [(0, 1), (1, 0)]
+
+    def test_diagonal_neighbors(self, grid_8x8):
+        assert len(grid_8x8.neighbors((3, 3), diagonal=True)) == 8
+        assert len(grid_8x8.neighbors((0, 0), diagonal=True)) == 3
+
+    def test_neighbors_outside_raises(self, grid_8x8):
+        with pytest.raises(KeyError):
+            grid_8x8.neighbors((8, 0))
+
+    def test_manhattan(self, grid_8x8):
+        assert grid_8x8.manhattan((0, 0), (3, 4)) == 7
+        assert grid_8x8.manhattan((5, 5), (5, 5)) == 0

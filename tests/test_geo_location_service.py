@@ -1,0 +1,70 @@
+"""Unit tests for the GPS-like location service."""
+
+import random
+
+import pytest
+
+from repro.geo.geometry import Point, Vector
+from repro.geo.location_service import LocationError, LocationService
+
+
+class TestLocationService:
+    def test_query_without_record_raises(self):
+        service = LocationService()
+        with pytest.raises(LocationError):
+            service.query(0.0)
+
+    def test_ground_truth_reported(self):
+        service = LocationService()
+        service.record(Point(10.0, 20.0), Vector(1.0, 0.0), now=5.0)
+        sample = service.query(now=5.0)
+        assert sample.position == Point(10.0, 20.0)
+        assert sample.velocity == Vector(1.0, 0.0)
+        assert sample.timestamp == 5.0
+
+    def test_last_known(self):
+        service = LocationService()
+        assert service.last_known() is None
+        service.record(Point(1.0, 1.0), Vector(0.0, 0.0), now=1.0)
+        service.record(Point(2.0, 2.0), Vector(0.0, 0.0), now=2.0)
+        assert service.last_known().position == Point(2.0, 2.0)
+
+    def test_staleness_returns_old_fix(self):
+        service = LocationService(staleness=5.0)
+        service.record(Point(0.0, 0.0), Vector(1.0, 0.0), now=0.0)
+        service.record(Point(10.0, 0.0), Vector(1.0, 0.0), now=10.0)
+        sample = service.query(now=12.0)
+        # 12 - 5 = 7 -> most recent sample not newer than t=7 is the t=0 one
+        assert sample.position == Point(0.0, 0.0)
+
+    def test_staleness_before_history_returns_oldest(self):
+        service = LocationService(staleness=100.0)
+        service.record(Point(3.0, 3.0), Vector(0.0, 0.0), now=10.0)
+        assert service.query(now=20.0).position == Point(3.0, 3.0)
+
+    def test_gaussian_error_applied(self):
+        rng = random.Random(0)
+        service = LocationService(position_error_std=5.0, rng=rng)
+        service.record(Point(100.0, 100.0), Vector(0.0, 0.0), now=0.0)
+        samples = [service.query(0.0).position for _ in range(200)]
+        xs = [p.x for p in samples]
+        # errors average out near the true position but individual samples differ
+        assert abs(sum(xs) / len(xs) - 100.0) < 2.0
+        assert any(abs(x - 100.0) > 1.0 for x in xs)
+
+    def test_error_requires_rng(self):
+        with pytest.raises(ValueError):
+            LocationService(position_error_std=1.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LocationService(position_error_std=-1.0, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            LocationService(staleness=-0.5)
+
+    def test_history_bounded(self):
+        service = LocationService()
+        for i in range(500):
+            service.record(Point(float(i), 0.0), Vector(0.0, 0.0), now=float(i))
+        assert len(service._history) <= 64
+        assert service.query(now=499.0).position == Point(499.0, 0.0)

@@ -1,0 +1,139 @@
+"""Unit tests for hypercube label algebra (paper Section 2.1)."""
+
+import pytest
+
+from repro.hypercube.labels import (
+    all_labels,
+    bits_to_label,
+    canonical_subcube,
+    differing_dimensions,
+    flip_bit,
+    gray_code,
+    hamming_distance,
+    is_valid_label,
+    label_to_bits,
+    neighbors,
+    subcube_members,
+    weight,
+)
+
+
+class TestHamming:
+    def test_identity(self):
+        assert hamming_distance(5, 5) == 0
+
+    def test_single_bit(self):
+        assert hamming_distance(0b1000, 0b1001) == 1
+
+    def test_paper_example(self):
+        # 1000 -> 1101 differ in two bits (the 2-logical-hop example of Section 4.1)
+        assert hamming_distance(bits_to_label("1000"), bits_to_label("1101")) == 2
+
+    def test_symmetry(self):
+        assert hamming_distance(3, 12) == hamming_distance(12, 3)
+
+    def test_differing_dimensions(self):
+        assert differing_dimensions(0b0000, 0b1010) == [1, 3]
+        assert differing_dimensions(7, 7) == []
+
+
+class TestLabels:
+    def test_is_valid_label(self):
+        assert is_valid_label(0, 3)
+        assert is_valid_label(7, 3)
+        assert not is_valid_label(8, 3)
+        assert not is_valid_label(-1, 3)
+
+    def test_flip_bit(self):
+        assert flip_bit(0b0000, 2) == 0b0100
+        assert flip_bit(0b0100, 2) == 0b0000
+
+    def test_flip_bit_negative_dimension(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, -1)
+
+    def test_neighbors_count_and_distance(self):
+        nbs = neighbors(0b1010, 4)
+        assert len(nbs) == 4
+        assert all(hamming_distance(0b1010, nb) == 1 for nb in nbs)
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(ValueError):
+            neighbors(16, 4)
+
+    def test_all_labels(self):
+        assert list(all_labels(3)) == list(range(8))
+        assert len(list(all_labels(0))) == 1
+
+    def test_label_bits_roundtrip(self):
+        for label in all_labels(5):
+            assert bits_to_label(label_to_bits(label, 5)) == label
+
+    def test_label_to_bits_matches_paper_notation(self):
+        assert label_to_bits(8, 4) == "1000"
+        assert label_to_bits(13, 4) == "1101"
+
+    def test_bits_to_label_invalid(self):
+        with pytest.raises(ValueError):
+            bits_to_label("10x0")
+        with pytest.raises(ValueError):
+            bits_to_label("")
+
+    def test_weight(self):
+        assert weight(0) == 0
+        assert weight(0b1011) == 3
+
+
+class TestSubcubes:
+    def test_full_wildcard_is_whole_cube(self):
+        assert subcube_members("**") == [0, 1, 2, 3]
+
+    def test_fixed_pattern_single_member(self):
+        assert subcube_members("101") == [5]
+
+    def test_mixed_pattern(self):
+        # "1**0": bit3=1, bit0=0, bits 1-2 free -> {8, 10, 12, 14}
+        assert subcube_members("1**0") == [8, 10, 12, 14]
+
+    def test_symmetry_property_split(self):
+        # a (k+1)-dimensional subcube consists of two k-dimensional subcubes
+        parent = set(subcube_members("*1*"))
+        half0 = set(subcube_members("01*"))
+        half1 = set(subcube_members("11*"))
+        assert parent == half0 | half1
+        assert not half0 & half1
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ValueError):
+            subcube_members("1a0")
+
+    def test_canonical_subcube(self):
+        assert canonical_subcube([0b1000, 0b1010], 4) == "10*0"
+        assert canonical_subcube([5], 3) == "101"
+
+    def test_canonical_subcube_contains_all(self):
+        labels = [1, 3, 9]
+        pattern = canonical_subcube(labels, 4)
+        members = set(subcube_members(pattern))
+        assert set(labels) <= members
+
+    def test_canonical_subcube_empty_raises(self):
+        with pytest.raises(ValueError):
+            canonical_subcube([], 3)
+
+
+class TestGrayCode:
+    def test_length(self):
+        assert len(gray_code(4)) == 16
+
+    def test_adjacent_entries_differ_by_one_bit(self):
+        code = gray_code(5)
+        for a, b in zip(code, code[1:]):
+            assert hamming_distance(a, b) == 1
+
+    def test_is_permutation(self):
+        assert sorted(gray_code(4)) == list(range(16))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)

@@ -1,0 +1,135 @@
+"""Unit tests for the mesh tier."""
+
+import pytest
+
+from repro.hypercube.mesh import (
+    MeshGrid,
+    MeshMulticastTree,
+    MeshNode,
+    mesh_multicast_tree,
+)
+
+
+class TestMeshGrid:
+    def test_complete_mesh(self):
+        mesh = MeshGrid(3, 2)
+        assert len(mesh) == 6
+        assert (0, 0) in mesh and (2, 1) in mesh
+        assert (3, 0) not in mesh
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MeshGrid(0, 2)
+
+    def test_partial_mesh(self):
+        mesh = MeshGrid(2, 2, present=[(0, 0), (1, 1)])
+        assert len(mesh) == 2
+        assert not mesh.has_link((0, 0), (1, 1))   # not adjacent
+
+    def test_out_of_range_present_node(self):
+        with pytest.raises(ValueError):
+            MeshGrid(2, 2, present=[(2, 0)])
+
+    def test_neighbors_four_connectivity(self):
+        mesh = MeshGrid(3, 3)
+        assert sorted(mesh.neighbors((1, 1))) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+        assert sorted(mesh.neighbors((0, 0))) == [(0, 1), (1, 0)]
+
+    def test_neighbors_of_absent_node_raises(self):
+        mesh = MeshGrid(2, 2, present=[(0, 0)])
+        with pytest.raises(KeyError):
+            mesh.neighbors((1, 1))
+
+    def test_remove_and_restore_link(self):
+        mesh = MeshGrid(2, 2)
+        mesh.remove_link((0, 0), (0, 1))
+        assert not mesh.has_link((0, 0), (0, 1))
+        assert (0, 1) not in mesh.neighbors((0, 0))
+        mesh.restore_link((0, 0), (0, 1))
+        assert mesh.has_link((0, 0), (0, 1))
+
+    def test_remove_non_adjacent_link_raises(self):
+        with pytest.raises(ValueError):
+            MeshGrid(3, 3).remove_link((0, 0), (2, 2))
+
+    def test_add_remove_node(self):
+        mesh = MeshGrid(2, 2, present=[(0, 0)])
+        mesh.add_node((0, 1))
+        assert mesh.has_link((0, 0), (0, 1))
+        mesh.remove_node((0, 1))
+        assert (0, 1) not in mesh
+
+    def test_connectivity(self):
+        mesh = MeshGrid(3, 1)
+        assert mesh.is_connected()
+        mesh.remove_node((1, 0))
+        assert not mesh.is_connected()
+
+    def test_shortest_path(self):
+        mesh = MeshGrid(4, 4)
+        path = mesh.shortest_path((0, 0), (3, 3))
+        assert path[0] == (0, 0) and path[-1] == (3, 3)
+        assert len(path) - 1 == 6
+
+    def test_shortest_path_detours_around_hole(self):
+        mesh = MeshGrid(3, 3)
+        mesh.remove_node((1, 1))
+        path = mesh.shortest_path((0, 1), (2, 1))
+        assert (1, 1) not in path
+        assert len(path) - 1 == 4
+
+    def test_shortest_path_unreachable(self):
+        mesh = MeshGrid(3, 1)
+        mesh.remove_node((1, 0))
+        with pytest.raises(ValueError):
+            mesh.shortest_path((0, 0), (2, 0))
+
+    def test_manhattan(self):
+        assert MeshGrid(5, 5).manhattan((0, 0), (3, 4)) == 7
+
+    def test_mesh_node_dataclass(self):
+        node = MeshNode(coord=(2, 3), hypercube_id=11)
+        assert node.column == 2
+        assert node.row == 3
+
+
+class TestMeshMulticastTree:
+    def test_covers_members(self):
+        mesh = MeshGrid(4, 4)
+        members = [(0, 3), (3, 0), (3, 3)]
+        tree = mesh_multicast_tree(mesh, (0, 0), members)
+        assert tree.covers(members)
+        assert tree.members == set(members)
+
+    def test_edges_are_mesh_links(self):
+        mesh = MeshGrid(4, 4)
+        tree = mesh_multicast_tree(mesh, (1, 1), [(3, 3), (0, 0)])
+        for parent, child in tree.edges():
+            assert mesh.has_link(parent, child)
+
+    def test_unreachable_member_skipped(self):
+        mesh = MeshGrid(3, 1)
+        mesh.remove_node((1, 0))
+        tree = mesh_multicast_tree(mesh, (0, 0), [(2, 0)])
+        assert (2, 0) not in tree.members
+
+    def test_absent_root(self):
+        mesh = MeshGrid(2, 2, present=[(1, 1)])
+        tree = mesh_multicast_tree(mesh, (0, 0), [(1, 1)])
+        assert tree.members == set()
+
+    def test_depth_and_children(self):
+        mesh = MeshGrid(3, 1)
+        tree = mesh_multicast_tree(mesh, (0, 0), [(2, 0)])
+        assert tree.depth() == 2
+        assert tree.children_of((0, 0)) == [(1, 0)]
+
+    def test_serialize_roundtrip(self):
+        mesh = MeshGrid(3, 3)
+        tree = mesh_multicast_tree(mesh, (0, 0), [(2, 2), (0, 2)])
+        restored = MeshMulticastTree.deserialize(tree.serialize())
+        assert restored.root == tree.root
+        assert restored.members == tree.members
+        assert {k: sorted(v) for k, v in restored.children.items()} == {
+            k: sorted(v) for k, v in tree.children.items()
+        }

@@ -1,0 +1,98 @@
+"""Unit tests for the plain-text visualisation helpers."""
+
+import pytest
+
+from repro.clustering.service import ClusterSnapshot
+from repro.core.hvdb import HVDBModel
+from repro.core.identifiers import LogicalAddressSpace
+from repro.geo.area import Area
+from repro.geo.grid import VirtualCircleGrid
+from repro.metrics.visualization import (
+    bar_chart,
+    render_delivery_timeline,
+    render_hypercube_occupancy,
+    render_vc_grid,
+    sparkline,
+)
+
+
+def make_space():
+    return LogicalAddressSpace(VirtualCircleGrid(Area(1000.0, 1000.0), 8, 8), dimension=4)
+
+
+def make_model(heads):
+    space = make_space()
+    snapshot = ClusterSnapshot(
+        time=0.0,
+        heads=dict(heads),
+        members={coord: {ch} for coord, ch in heads.items()},
+        node_home={ch: coord for coord, ch in heads.items()},
+    )
+    return HVDBModel(space, snapshot)
+
+
+class TestVcGridRendering:
+    def test_contains_head_ids_and_placeholders(self):
+        space = make_space()
+        text = render_vc_grid(space, {(0, 0): 7, (3, 3): 42})
+        assert "7" in text
+        assert "42" in text
+        assert "--" in text
+        # one output line per VC row plus header and block separators
+        assert len(text.splitlines()) >= space.grid.rows + 1
+
+    def test_block_separators_present(self):
+        space = make_space()
+        text = render_vc_grid(space, {})
+        assert any(line.startswith("=") for line in text.splitlines())
+
+
+class TestHypercubeRendering:
+    def test_occupied_nodes_bracketed(self):
+        model = make_model({(0, 0): 1, (1, 0): 2})
+        text = render_hypercube_occupancy(model, 0)
+        assert "[0000]" in text
+        assert "[0001]" in text
+        assert " 1111 " in text
+        assert "2/16" in text
+
+    def test_empty_hypercube(self):
+        model = make_model({(0, 0): 1})
+        text = render_hypercube_occupancy(model, 3)
+        assert "0/16" in text
+        assert "[" not in text.splitlines()[1]
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_peak(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_bar_chart_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in text
+
+    def test_sparkline_length_and_extremes(self):
+        line = sparkline([0.0, 0.5, 1.0], lo=0.0, hi=1.0)
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_sparkline_constant_series(self):
+        assert sparkline([2.0, 2.0]) == "@@"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_delivery_timeline(self):
+        text = render_delivery_timeline([(0.0, 1.0), (10.0, 0.5)], window=10.0)
+        assert "min 0.50" in text and "max 1.00" in text
+        assert len(text.splitlines()[1]) == 2
+
+    def test_delivery_timeline_empty(self):
+        assert render_delivery_timeline([], window=5.0) == "(no delivery data)"

@@ -1,0 +1,197 @@
+"""Unit tests for the mobility models."""
+
+import math
+
+import pytest
+
+from repro.geo.area import Area
+from repro.geo.geometry import Point, distance
+from repro.mobility.gauss_markov import GaussMarkovMobility
+from repro.mobility.group_mobility import ReferencePointGroupMobility
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.static import StaticMobility
+
+AREA = Area(1000.0, 1000.0)
+NODE_IDS = list(range(20))
+
+
+class TestStatic:
+    def test_nodes_never_move(self):
+        model = StaticMobility(AREA, NODE_IDS, seed=1)
+        before = {n: model.position(n) for n in NODE_IDS}
+        model.advance(100.0)
+        after = {n: model.position(n) for n in NODE_IDS}
+        assert before == after
+
+    def test_explicit_positions(self):
+        model = StaticMobility(AREA, [0, 1], positions={0: Point(10.0, 20.0)}, seed=1)
+        assert model.position(0) == Point(10.0, 20.0)
+        assert AREA.contains(model.position(1))
+
+    def test_explicit_position_outside_area_rejected(self):
+        with pytest.raises(ValueError):
+            StaticMobility(AREA, [0], positions={0: Point(-5.0, 0.0)})
+
+    def test_velocity_zero(self):
+        model = StaticMobility(AREA, [0], seed=1)
+        assert model.velocity(0).magnitude == 0.0
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            StaticMobility(AREA, [1, 1])
+
+    def test_set_position(self):
+        model = StaticMobility(AREA, [0], seed=1)
+        model.set_position(0, Point(500.0, 500.0))
+        assert model.position(0) == Point(500.0, 500.0)
+        with pytest.raises(ValueError):
+            model.set_position(0, Point(5000.0, 0.0))
+
+    def test_negative_dt_rejected(self):
+        model = StaticMobility(AREA, [0], seed=1)
+        with pytest.raises(ValueError):
+            model.advance(-1.0)
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_inside_area(self):
+        model = RandomWaypointMobility(AREA, NODE_IDS, min_speed=1.0, max_speed=20.0, seed=3)
+        for _ in range(200):
+            model.advance(1.0)
+            for n in NODE_IDS:
+                assert AREA.contains(model.position(n))
+
+    def test_nodes_actually_move(self):
+        model = RandomWaypointMobility(AREA, NODE_IDS, min_speed=5.0, max_speed=10.0, seed=4)
+        before = {n: model.position(n) for n in NODE_IDS}
+        model.advance(10.0)
+        moved = sum(1 for n in NODE_IDS if distance(before[n], model.position(n)) > 1.0)
+        assert moved == len(NODE_IDS)
+
+    def test_speed_respects_bounds(self):
+        model = RandomWaypointMobility(AREA, NODE_IDS, min_speed=2.0, max_speed=4.0, seed=5)
+        before = {n: model.position(n) for n in NODE_IDS}
+        dt = 1.0
+        model.advance(dt)
+        for n in NODE_IDS:
+            travelled = distance(before[n], model.position(n))
+            assert travelled <= 4.0 * dt + 1e-6
+
+    def test_pause_keeps_node_at_waypoint(self):
+        model = RandomWaypointMobility(
+            Area(50.0, 50.0), [0], min_speed=10.0, max_speed=10.0, pause_time=1e9, seed=6
+        )
+        # after enough time the node reaches its first waypoint and pauses forever
+        for _ in range(100):
+            model.advance(1.0)
+        p1 = model.position(0)
+        model.advance(10.0)
+        assert model.position(0) == p1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(AREA, [0], min_speed=0.0, max_speed=5.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(AREA, [0], min_speed=5.0, max_speed=2.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(AREA, [0], pause_time=-1.0)
+
+    def test_deterministic_with_seed(self):
+        a = RandomWaypointMobility(AREA, NODE_IDS, seed=42)
+        b = RandomWaypointMobility(AREA, NODE_IDS, seed=42)
+        for _ in range(10):
+            a.advance(1.0)
+            b.advance(1.0)
+        assert all(a.position(n) == b.position(n) for n in NODE_IDS)
+
+
+class TestRandomWalk:
+    def test_inside_area(self):
+        model = RandomWalkMobility(AREA, NODE_IDS, max_speed=15.0, epoch=5.0, seed=7)
+        for _ in range(100):
+            model.advance(1.0)
+            assert all(AREA.contains(model.position(n)) for n in NODE_IDS)
+
+    def test_direction_changes_after_epoch(self):
+        model = RandomWalkMobility(AREA, [0], min_speed=5.0, max_speed=5.0, epoch=2.0, seed=8)
+        v1 = model.velocity(0)
+        model.advance(5.0)
+        v2 = model.velocity(0)
+        assert (v1.dx, v1.dy) != (v2.dx, v2.dy)
+
+    def test_invalid_epoch(self):
+        with pytest.raises(ValueError):
+            RandomWalkMobility(AREA, [0], epoch=0.0)
+
+
+class TestGaussMarkov:
+    def test_inside_area(self):
+        model = GaussMarkovMobility(AREA, NODE_IDS, mean_speed=10.0, seed=9)
+        for _ in range(100):
+            model.advance(1.0)
+            assert all(AREA.contains(model.position(n)) for n in NODE_IDS)
+
+    def test_alpha_one_keeps_speed_memory(self):
+        model = GaussMarkovMobility(
+            AREA, [0], mean_speed=5.0, speed_std=2.0, alpha=1.0, seed=10
+        )
+        s0 = model.velocity(0).magnitude
+        model.advance(20.0)
+        assert model.velocity(0).magnitude == pytest.approx(s0, abs=1e-9)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            GaussMarkovMobility(AREA, [0], alpha=1.5)
+
+    def test_speed_never_negative(self):
+        model = GaussMarkovMobility(AREA, NODE_IDS, mean_speed=1.0, speed_std=3.0, alpha=0.2, seed=11)
+        for _ in range(50):
+            model.advance(1.0)
+            for n in NODE_IDS:
+                assert model.velocity(n).magnitude >= 0.0
+
+
+class TestGroupMobility:
+    def make_model(self, seed=12):
+        groups = {0: [0, 1, 2, 3, 4], 1: [5, 6, 7, 8, 9]}
+        return ReferencePointGroupMobility(
+            AREA, range(10), groups, group_speed=8.0, member_radius=60.0, member_speed=6.0, seed=seed
+        )
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility(AREA, range(10), {0: [0, 1, 2]})
+
+    def test_group_of(self):
+        model = self.make_model()
+        assert model.group_of(3) == 0
+        assert model.group_of(7) == 1
+
+    def test_members_stay_near_group_center(self):
+        model = self.make_model()
+        for _ in range(100):
+            model.advance(1.0)
+        for node_id in range(10):
+            center = model.group_center(model.group_of(node_id))
+            # allow slack: the member chases a moving target
+            assert distance(model.position(node_id), center) < 200.0
+
+    def test_groups_are_spatially_coherent(self):
+        model = self.make_model(seed=13)
+        for _ in range(50):
+            model.advance(1.0)
+        # within-group spread should be well below the area diagonal
+        for gid, members in model.groups.items():
+            positions = [model.position(n) for n in members]
+            spread = max(
+                distance(a, b) for a in positions for b in positions
+            )
+            assert spread < 500.0
+
+    def test_positions_inside_area(self):
+        model = self.make_model(seed=14)
+        for _ in range(100):
+            model.advance(1.0)
+            for n in range(10):
+                assert AREA.contains(model.position(n))

@@ -1,0 +1,115 @@
+"""Property-based tests for mobility, the event engine and the geo grid."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.area import Area, BoundaryPolicy
+from repro.geo.geometry import Point, Vector
+from repro.geo.grid import VirtualCircleGrid
+from repro.mobility.gauss_markov import GaussMarkovMobility
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.simulation.engine import Simulator
+
+
+class TestAreaProperties:
+    @given(
+        st.floats(min_value=-5000.0, max_value=5000.0, allow_nan=False),
+        st.floats(min_value=-5000.0, max_value=5000.0, allow_nan=False),
+        st.sampled_from(list(BoundaryPolicy)),
+    )
+    def test_boundary_policy_always_returns_point_inside(self, x, y, policy):
+        area = Area(1000.0, 700.0)
+        point, _ = area.apply_boundary(Point(x, y), Vector(1.0, -2.0), policy)
+        assert area.contains(point)
+
+    @given(st.floats(min_value=0.0, max_value=1000.0), st.floats(min_value=0.0, max_value=700.0))
+    def test_inside_points_unchanged(self, x, y):
+        area = Area(1000.0, 700.0)
+        for policy in BoundaryPolicy:
+            point, velocity = area.apply_boundary(Point(x, y), Vector(3.0, 4.0), policy)
+            assert point == Point(x, y)
+            assert velocity == Vector(3.0, 4.0)
+
+
+class TestGridProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_home_circle_always_covers_point(self, cols, rows, fx, fy):
+        area = Area(900.0, 600.0)
+        grid = VirtualCircleGrid(area, cols, rows)
+        point = Point(fx * area.width, fy * area.height)
+        coord = grid.coord_of(point)
+        assert 0 <= coord[0] < cols and 0 <= coord[1] < rows
+        assert grid.circle(coord).contains(point)
+        assert coord in grid.covering_coords(point)
+
+
+class TestMobilityProperties:
+    @given(
+        st.sampled_from(["waypoint", "walk", "gauss"]),
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.5, max_value=20.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nodes_never_leave_area(self, kind, n_nodes, speed, seed):
+        area = Area(500.0, 400.0)
+        ids = list(range(n_nodes))
+        if kind == "waypoint":
+            model = RandomWaypointMobility(area, ids, min_speed=0.5, max_speed=speed, seed=seed)
+        elif kind == "walk":
+            model = RandomWalkMobility(area, ids, min_speed=0.5, max_speed=speed, epoch=3.0, seed=seed)
+        else:
+            model = GaussMarkovMobility(area, ids, mean_speed=speed, seed=seed)
+        for _ in range(30):
+            model.advance(1.0)
+        for node_id in ids:
+            assert area.contains(model.position(node_id))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_trajectories(self, seed):
+        area = Area(500.0, 500.0)
+        a = RandomWaypointMobility(area, range(5), seed=seed)
+        b = RandomWaypointMobility(area, range(5), seed=seed)
+        for _ in range(20):
+            a.advance(1.0)
+            b.advance(1.0)
+        assert all(a.position(i) == b.position(i) for i in range(5))
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=40))
+    def test_events_always_execute_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run_until(200.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=50.0), st.booleans()), max_size=30
+        )
+    )
+    def test_cancelled_events_never_fire(self, entries):
+        sim = Simulator()
+        fired = []
+        expected = 0
+        for delay, cancel in entries:
+            event = sim.schedule(delay, lambda d=delay: fired.append(d))
+            if cancel:
+                event.cancel()
+            else:
+                expected += 1
+        sim.run_until(100.0)
+        assert len(fired) == expected

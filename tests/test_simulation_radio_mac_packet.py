@@ -1,0 +1,133 @@
+"""Unit tests for packets, radio models and the MAC abstraction."""
+
+import pytest
+
+from repro.geo.geometry import Point
+from repro.simulation.mac import IdealMac, SimpleCsmaMac
+from repro.simulation.packet import Packet, PacketKind, control_packet, data_packet
+from repro.simulation.radio import LogDistanceRadio, UnitDiskRadio
+
+
+class TestPacket:
+    def test_unique_uids(self):
+        a = data_packet("p", 1, 1, None, 100, 0.0)
+        b = data_packet("p", 1, 1, None, 100, 0.0)
+        assert a.uid != b.uid
+
+    def test_copy_preserves_uid_and_isolates_headers(self):
+        packet = data_packet("p", 1, 1, "x", 100, 0.0, headers={"stage": "a"})
+        copy = packet.copy_for_forwarding()
+        assert copy.uid == packet.uid
+        copy.headers["stage"] = "b"
+        assert packet.headers["stage"] == "a"
+
+    def test_age(self):
+        packet = data_packet("p", 1, 1, None, 100, now=5.0)
+        assert packet.age(8.5) == pytest.approx(3.5)
+
+    def test_control_packet_kind(self):
+        packet = control_packet("p", "beacon", 3, 40, 1.0)
+        assert packet.kind is PacketKind.CONTROL
+        assert packet.msg_type == "beacon"
+
+    def test_data_packet_kind(self):
+        packet = data_packet("p", 3, 9, ("payload",), 256, 1.0)
+        assert packet.kind is PacketKind.DATA
+        assert packet.group == 9
+        assert packet.size_bytes == 256
+
+
+class TestUnitDiskRadio:
+    def test_in_range_boundary(self):
+        radio = UnitDiskRadio(100.0)
+        assert radio.in_range(Point(0, 0), Point(100.0, 0.0))
+        assert not radio.in_range(Point(0, 0), Point(100.1, 0.0))
+
+    def test_reception_probability_binary(self):
+        radio = UnitDiskRadio(100.0)
+        assert radio.reception_probability(Point(0, 0), Point(50, 0)) == 1.0
+        assert radio.reception_probability(Point(0, 0), Point(150, 0)) == 0.0
+
+    def test_nominal_range(self):
+        assert UnitDiskRadio(250.0).nominal_range == 250.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(0.0)
+
+
+class TestLogDistanceRadio:
+    def test_reliable_zone(self):
+        radio = LogDistanceRadio(100.0, reliable_fraction=0.8, max_fraction=1.2)
+        assert radio.reception_probability(Point(0, 0), Point(70, 0)) == 1.0
+
+    def test_grey_zone_monotone_decreasing(self):
+        radio = LogDistanceRadio(100.0)
+        p1 = radio.reception_probability(Point(0, 0), Point(90, 0))
+        p2 = radio.reception_probability(Point(0, 0), Point(110, 0))
+        assert 0.0 <= p2 <= p1 <= 1.0
+
+    def test_beyond_cutoff(self):
+        radio = LogDistanceRadio(100.0, max_fraction=1.2)
+        assert radio.reception_probability(Point(0, 0), Point(125, 0)) == 0.0
+        assert not radio.in_range(Point(0, 0), Point(125, 0))
+
+    def test_nominal_range_includes_grey_zone(self):
+        radio = LogDistanceRadio(100.0, max_fraction=1.2)
+        assert radio.nominal_range == pytest.approx(120.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogDistanceRadio(-1.0)
+        with pytest.raises(ValueError):
+            LogDistanceRadio(100.0, exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistanceRadio(100.0, reliable_fraction=1.5)
+        with pytest.raises(ValueError):
+            LogDistanceRadio(100.0, max_fraction=0.5)
+
+
+class TestSimpleCsmaMac:
+    def test_delay_grows_with_size(self):
+        mac = SimpleCsmaMac()
+        assert mac.transmission_delay(2000, 0) > mac.transmission_delay(100, 0)
+
+    def test_delay_grows_with_contention(self):
+        mac = SimpleCsmaMac()
+        assert mac.transmission_delay(1000, 20) > mac.transmission_delay(1000, 0)
+
+    def test_base_latency_floor(self):
+        mac = SimpleCsmaMac(base_latency=0.005)
+        assert mac.transmission_delay(0, 0) == pytest.approx(0.005)
+
+    def test_loss_probability_capped(self):
+        mac = SimpleCsmaMac(
+            collision_probability_per_contender=0.1, max_collision_probability=0.3
+        )
+        assert mac.loss_probability(100) == pytest.approx(0.3)
+        assert mac.loss_probability(1) == pytest.approx(0.1)
+        assert mac.loss_probability(0) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimpleCsmaMac(bandwidth_bps=0.0)
+        with pytest.raises(ValueError):
+            SimpleCsmaMac(base_latency=-0.1)
+        with pytest.raises(ValueError):
+            SimpleCsmaMac(collision_probability_per_contender=2.0)
+
+    def test_negative_arguments_rejected(self):
+        mac = SimpleCsmaMac()
+        with pytest.raises(ValueError):
+            mac.transmission_delay(-1, 0)
+        with pytest.raises(ValueError):
+            mac.transmission_delay(10, -1)
+        with pytest.raises(ValueError):
+            mac.loss_probability(-1)
+
+
+class TestIdealMac:
+    def test_constant_delay_no_loss(self):
+        mac = IdealMac(delay=0.002)
+        assert mac.transmission_delay(10_000, 50) == 0.002
+        assert mac.loss_probability(50) == 0.0
