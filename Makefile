@@ -1,0 +1,33 @@
+# Repo tooling. Everything runs from a source checkout (PYTHONPATH=src),
+# no installation required.
+
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test bench-smoke bench docs-check sweeps check
+
+## tier-1 test suite (fast, deterministic) -- must stay green
+test:
+	$(PYTHON) -m pytest -x -q
+
+## seconds-long end-to-end check of the experiment orchestrator:
+## one tiny sweep through workers, cache and export, under pytest
+bench-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_s0_orchestrator_smoke.py
+
+## full benchmark suite regenerating the paper's evaluation (minutes)
+bench:
+	$(PYTHON) -m pytest -q benchmarks/
+
+## documentation consistency: docs exist, README matches the shipped CLI,
+## every package docstring matches its actual exports
+docs-check:
+	$(PYTHON) scripts/check_docs.py
+
+## list the registered experiment sweeps
+sweeps:
+	$(PYTHON) -m repro.experiments list
+
+## everything a PR must keep green
+check: test bench-smoke docs-check

@@ -4,63 +4,37 @@ HVDB vs. flooding vs. SGM on 60 / 120 / 200 nodes (constant density: the
 area grows with the node count).  The claim being probed: backbone-based
 multicast keeps its delivery ratio as the network grows while its
 data-plane cost per packet stays far below flooding's O(N).
+
+The scenario grid is the registered sweep ``e2_scalability`` (see
+``repro.experiments.specs``); this file only derives the report columns.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import math
 from typing import Dict, List
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-
-from common import print_table
+from common import print_table, run_spec
 
 NODE_COUNTS = [60, 120, 200]
-PROTOCOLS = ["hvdb", "flooding", "sgm"]
-DENSITY_AREA_PER_NODE = 150.0 * 150.0     # m^2 per node (constant density)
-DURATION = 90.0
-
-
-def config_for(protocol: str, n_nodes: int, seed: int = 7) -> ScenarioConfig:
-    area = math.sqrt(n_nodes * DENSITY_AREA_PER_NODE)
-    return ScenarioConfig(
-        protocol=protocol,
-        n_nodes=n_nodes,
-        area_size=area,
-        radio_range=250.0,
-        max_speed=4.0,
-        group_size=max(8, n_nodes // 10),
-        traffic_interval=1.0,
-        traffic_start=30.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        seed=seed,
-    )
 
 
 def run_e2() -> List[Dict]:
     rows: List[Dict] = []
-    for n_nodes in NODE_COUNTS:
-        for protocol in PROTOCOLS:
-            result = run_scenario(config_for(protocol, n_nodes), duration=DURATION)
-            delivery = result.report.delivery
-            overhead = result.report.overhead
-            rows.append(
-                {
-                    "nodes": n_nodes,
-                    "protocol": protocol,
-                    "pdr": round(delivery.delivery_ratio, 3),
-                    "delay_ms": round(delivery.mean_delay * 1000, 1),
-                    "data_tx_per_pkt": round(
-                        overhead.data_packets / max(1, delivery.packets_originated), 1
-                    ),
-                    "ctrl_tx": overhead.control_packets,
-                    "tx_per_delivery": round(overhead.transmissions_per_delivered, 1),
-                }
-            )
+    for result in run_spec("e2_scalability"):
+        metrics = result.metrics
+        rows.append(
+            {
+                "nodes": result.params["n_nodes"],
+                "protocol": result.params["protocol"],
+                "pdr": round(metrics["pdr"], 3),
+                "delay_ms": round(metrics["mean_delay"] * 1000, 1),
+                "data_tx_per_pkt": round(
+                    metrics["data_pkts"] / max(1, metrics["packets_originated"]), 1
+                ),
+                "ctrl_tx": metrics["ctrl_pkts"],
+                "tx_per_delivery": round(metrics["tx_per_delivery"], 1),
+            }
+        )
     return rows
 
 

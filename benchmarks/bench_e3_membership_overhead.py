@@ -9,60 +9,32 @@ network size and of the number of multicast groups.
 Paper claim (Sections 2.2 / 4.2): summarising membership and disseminating
 it "to only a portion of nodes in the network" scales better in both the
 number of groups and the number of nodes.
+
+The scenario grid is the registered sweep ``e3_membership_overhead`` (see
+``repro.experiments.specs``); this file only derives the report columns.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-
-from common import print_table
-
-DURATION = 80.0
-NODE_COUNTS = [60, 120]
-GROUP_COUNTS = [1, 4]
-PROTOCOLS = ["hvdb", "spbm", "dsm"]
-
-
-def config_for(protocol: str, n_nodes: int, n_groups: int) -> ScenarioConfig:
-    return ScenarioConfig(
-        protocol=protocol,
-        n_nodes=n_nodes,
-        area_size=1500.0,
-        radio_range=250.0,
-        max_speed=3.0,
-        n_groups=n_groups,
-        group_size=8,
-        traffic_interval=2.0,
-        traffic_start=40.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        dsm_position_period=15.0,
-        seed=13,
-    )
+from common import print_table, run_spec
 
 
 def run_e3() -> List[Dict]:
     rows: List[Dict] = []
-    for n_nodes in NODE_COUNTS:
-        for n_groups in GROUP_COUNTS:
-            for protocol in PROTOCOLS:
-                result = run_scenario(config_for(protocol, n_nodes, n_groups), duration=DURATION)
-                overhead = result.report.overhead
-                rows.append(
-                    {
-                        "nodes": n_nodes,
-                        "groups": n_groups,
-                        "protocol": protocol,
-                        "ctrl_pkts": overhead.control_packets,
-                        "ctrl_B_per_node_s": round(overhead.control_bytes_per_node_per_second, 1),
-                        "pdr": round(result.report.delivery.delivery_ratio, 3),
-                    }
-                )
+    for result in run_spec("e3_membership_overhead"):
+        metrics = result.metrics
+        rows.append(
+            {
+                "nodes": result.params["n_nodes"],
+                "groups": result.params["n_groups"],
+                "protocol": result.params["protocol"],
+                "ctrl_pkts": metrics["ctrl_pkts"],
+                "ctrl_B_per_node_s": round(metrics["ctrl_bytes_per_node_per_s"], 1),
+                "pdr": round(metrics["pdr"], 3),
+            }
+        )
     return rows
 
 

@@ -4,58 +4,32 @@ Delivery ratio, delay and cluster-head churn as the maximum random-waypoint
 speed grows from 0 (static) to 20 m/s, for HVDB and flooding.  The paper's
 stability argument: mobility-prediction clustering plus the logical (not
 physical) backbone keep the structure usable as nodes move.
+
+The scenario grid is the registered sweep ``e6_mobility`` (see
+``repro.experiments.specs``); this file only derives the report columns.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-
-from common import print_table
-
-SPEEDS = [0.0, 5.0, 10.0, 20.0]
-PROTOCOLS = ["hvdb", "flooding"]
-DURATION = 90.0
-
-
-def config_for(protocol: str, speed: float) -> ScenarioConfig:
-    return ScenarioConfig(
-        protocol=protocol,
-        n_nodes=100,
-        area_size=1400.0,
-        radio_range=250.0,
-        max_speed=speed,
-        pause_time=2.0,
-        group_size=10,
-        traffic_interval=1.0,
-        traffic_start=30.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        seed=37,
-    )
+from common import print_table, run_spec
 
 
 def run_e6() -> List[Dict]:
     rows: List[Dict] = []
-    for protocol in PROTOCOLS:
-        for speed in SPEEDS:
-            result = run_scenario(config_for(protocol, speed), duration=DURATION)
-            delivery = result.report.delivery
-            stats = result.report.protocol_stats
-            rows.append(
-                {
-                    "protocol": protocol,
-                    "max_speed_mps": speed,
-                    "pdr": round(delivery.delivery_ratio, 3),
-                    "delay_ms": round(delivery.mean_delay * 1000, 1),
-                    "ch_handovers": stats.get("cluster_head_changes", "-"),
-                    "failovers": stats.get("failovers", "-"),
-                }
-            )
+    for result in run_spec("e6_mobility"):
+        metrics = result.metrics
+        rows.append(
+            {
+                "protocol": result.params["protocol"],
+                "max_speed_mps": result.params["max_speed"],
+                "pdr": round(metrics["pdr"], 3),
+                "delay_ms": round(metrics["mean_delay"] * 1000, 1),
+                "ch_handovers": metrics.get("cluster_head_changes", "-"),
+                "failovers": metrics.get("failovers", "-"),
+            }
+        )
     return rows
 
 

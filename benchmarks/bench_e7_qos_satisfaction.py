@@ -4,60 +4,34 @@ Fraction of deliveries meeting a 250 ms end-to-end delay bound as the
 number of concurrent CBR sessions grows.  Exercises the QoS machinery of
 Section 2.3 / 4.1: per-route delay/bandwidth state and delay-bounded
 delivery accounting.
+
+The scenario grid is the registered sweep ``e7_qos_load``; the
+``qos_satisfaction`` column comes from the sweep's registered collector
+(which needs the live scenario's delivery ledger, so it runs inside the
+worker -- see ``repro.experiments.specs``).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
-from repro.core.qos import QoSRequirement, qos_satisfaction_ratio
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-
-from common import print_table
-
-SESSION_COUNTS = [1, 3, 6, 10]
-DELAY_BOUND = QoSRequirement(max_delay=0.25)
-DURATION = 90.0
-
-
-def config_for(sessions: int) -> ScenarioConfig:
-    return ScenarioConfig(
-        protocol="hvdb",
-        n_nodes=100,
-        area_size=1400.0,
-        radio_range=250.0,
-        max_speed=3.0,
-        n_groups=1,
-        group_size=10,
-        sources_per_group=sessions,
-        traffic_interval=0.5,
-        traffic_start=30.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        qos_requirements={1: DELAY_BOUND},
-        seed=41,
-    )
+from common import print_table, run_spec
 
 
 def run_e7() -> List[Dict]:
     rows: List[Dict] = []
-    for sessions in SESSION_COUNTS:
-        result = run_scenario(config_for(sessions), duration=DURATION)
-        network = result.scenario.network
-        delays = [d for record in network.deliveries.values() for d in record.delays()]
-        delivery = result.report.delivery
+    for result in run_spec("e7_qos_load"):
+        metrics = result.metrics
+        sessions = result.params["sources_per_group"]
         rows.append(
             {
                 "sessions": sessions,
                 "offered_pkts_per_s": round(sessions / 0.5, 1),
-                "pdr": round(delivery.delivery_ratio, 3),
-                "mean_delay_ms": round(delivery.mean_delay * 1000, 1),
-                "p95_delay_ms": round(delivery.p95_delay * 1000, 1),
-                "qos_satisfaction": round(qos_satisfaction_ratio(delays, DELAY_BOUND), 3),
-                "qos_rejections": result.report.protocol_stats.get("qos_rejections", 0),
+                "pdr": round(metrics["pdr"], 3),
+                "mean_delay_ms": round(metrics["mean_delay"] * 1000, 1),
+                "p95_delay_ms": round(metrics["p95_delay"] * 1000, 1),
+                "qos_satisfaction": round(metrics["qos_satisfaction"], 3),
+                "qos_rejections": metrics.get("qos_rejections", 0),
             }
         )
     return rows

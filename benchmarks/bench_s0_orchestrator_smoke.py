@@ -1,0 +1,66 @@
+"""S0 -- Orchestrator smoke benchmark.
+
+Runs the registered ``smoke`` sweep (a tiny 2-axis grid x 3 seeds over
+the flooding baseline) through the full parallel path -- grid expansion,
+multiprocessing workers, disk cache, CSV/JSON export -- and times it.
+This is the `make bench-smoke` target: a seconds-long end-to-end check
+that the experiment substrate itself works, as opposed to the E*/A*/F*
+benchmarks which regenerate the paper's figures in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List
+
+from repro.experiments.orchestrator import (
+    RunResult,
+    export_csv,
+    export_json,
+    load_csv,
+    load_json,
+    run_sweep,
+)
+from repro.experiments.specs import get_spec
+
+from common import print_table
+
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", os.cpu_count() or 1)) or 1
+
+
+def run_s0(cache_dir: str) -> List[RunResult]:
+    return run_sweep(get_spec("smoke"), workers=max(2, WORKERS), cache_dir=cache_dir)
+
+
+def test_s0_orchestrator_smoke(benchmark):
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        results = benchmark.pedantic(run_s0, args=(cache_dir,), rounds=1, iterations=1)
+        spec = get_spec("smoke")
+        assert len(results) == spec.run_count
+        assert all(r.metrics["packets_originated"] > 0 for r in results)
+
+        # a second pass is served entirely from the cache
+        again = run_sweep(spec, workers=2, cache_dir=cache_dir)
+        assert all(r.from_cache for r in again)
+        assert [r.metrics for r in again] == [r.metrics for r in results]
+
+        # artifacts round-trip
+        csv_path = os.path.join(tmp, "smoke.csv")
+        json_path = os.path.join(tmp, "smoke.json")
+        export_csv(results, csv_path)
+        export_json(results, json_path, spec=spec)
+        assert len(load_csv(csv_path)) == spec.run_count
+        assert [r.metrics for r in load_json(json_path)] == [r.metrics for r in results]
+
+    print_table(
+        [r.row() for r in results[:6]],
+        f"S0: orchestrator smoke sweep ({spec.run_count} runs, {max(2, WORKERS)} workers)",
+    )
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        rows = [r.row() for r in run_s0(os.path.join(tmp, "cache"))]
+    print_table(rows, "S0: orchestrator smoke sweep")

@@ -1,16 +1,27 @@
 """Shared helpers for the benchmark / experiment-regeneration suite.
 
-Every benchmark file exposes a ``run_*`` function that regenerates the rows
-of one experiment from DESIGN.md (E1-E8, A1-A2, F1-F6) and a pytest
-benchmark that times it.  Running a file directly (``python
-benchmarks/bench_e2_scalability_pdr.py``) prints the regenerated table,
-which is how the figures in EXPERIMENTS.md were produced.
+Every benchmark file exposes a ``run_*`` function that regenerates the
+rows of one experiment (E1-E8, A1-A2, F1-F6) and a pytest benchmark that
+times it.  Running a file directly (``python
+benchmarks/bench_e2_scalability_pdr.py``) prints the regenerated table.
+
+The scenario-grid benchmarks are thin: their grids live in
+:mod:`repro.experiments.specs` and execution goes through the parallel
+orchestrator via :func:`run_spec`.  Environment knobs:
+
+* ``REPRO_BENCH_WORKERS`` -- worker processes (default: CPU count);
+* ``REPRO_BENCH_CACHE`` -- cache directory; unset runs uncached so
+  benchmark timings stay honest;
+* ``REPRO_BENCH_PROGRESS=1`` -- per-run progress lines on stderr.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional
 
+from repro.experiments.orchestrator import RunResult, run_sweep
+from repro.experiments.specs import get_spec
 from repro.metrics.collectors import format_table
 
 #: Durations / sizes are chosen so the full suite finishes in a few minutes
@@ -28,3 +39,13 @@ def print_table(rows: Iterable[Dict], title: str) -> str:
 def pct(value: float) -> float:
     """Round a ratio to a percentage with one decimal."""
     return round(value * 100.0, 1)
+
+
+def run_spec(name: str) -> List[RunResult]:
+    """Execute the registered sweep ``name`` through the orchestrator."""
+    return run_sweep(
+        get_spec(name),
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", os.cpu_count() or 1)),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
+        progress=os.environ.get("REPRO_BENCH_PROGRESS", "") not in ("", "0"),
+    )

@@ -13,6 +13,14 @@ foot soldier", Section 3).  This example models exactly that:
   delay requirement;
 * delivery, delay and QoS-satisfaction figures printed at the end.
 
+The scenario itself is a declarative
+:class:`~repro.experiments.orchestrator.SweepSpec` executed by the
+orchestrator; the pieces that need *code* -- the RPGM mobility, the
+capability marking and the QoS-satisfaction figure -- are registered by
+name (``register_mobility`` / ``register_hook`` / ``register_collector``)
+so the spec stays declarative and each run can execute in a worker
+process.
+
 Run with::
 
     python examples/battlefield_group_mobility.py
@@ -22,8 +30,14 @@ from __future__ import annotations
 
 from repro.core.protocol import HVDB_PROTOCOL
 from repro.core.qos import QoSRequirement, qos_satisfaction_ratio
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments import (
+    ScenarioConfig,
+    SweepSpec,
+    register_collector,
+    register_hook,
+    register_mobility,
+    run_sweep,
+)
 from repro.mobility.group_mobility import ReferencePointGroupMobility
 
 
@@ -33,6 +47,7 @@ CH_CAPABLE_FRACTION = 0.4
 QOS = QoSRequirement(max_delay=0.5)          # 500 ms command-latency bound
 
 
+@register_mobility("battlefield_platoons")
 def platoon_mobility(config: ScenarioConfig, node_ids):
     """RPGM: each platoon follows its own moving reference point."""
     platoons = {
@@ -49,6 +64,7 @@ def platoon_mobility(config: ScenarioConfig, node_ids):
     )
 
 
+@register_hook("battlefield_mark_capability")
 def mark_heterogeneous_capability(scenario) -> None:
     """Only vehicle-mounted nodes (2 of every 5) can serve as cluster heads."""
     for node_id, node in scenario.network.nodes.items():
@@ -57,8 +73,18 @@ def mark_heterogeneous_capability(scenario) -> None:
     scenario.stack.clustering.update()
 
 
-def main() -> None:
-    config = ScenarioConfig(
+@register_collector("qos_satisfaction_500ms")
+def command_latency_satisfaction(result) -> dict:
+    delays = [
+        d for record in result.scenario.network.deliveries.values() for d in record.delays()
+    ]
+    return {"qos_satisfaction": qos_satisfaction_ratio(delays, QOS)}
+
+
+SPEC = SweepSpec(
+    name="battlefield",
+    description="6 platoons under RPGM, 40% CH-capable nodes, 500 ms QoS bound",
+    base=ScenarioConfig(
         protocol=HVDB_PROTOCOL,
         n_nodes=N_NODES,
         area_size=1200.0,
@@ -72,35 +98,32 @@ def main() -> None:
         vc_rows=8,
         dimension=4,
         qos_requirements={1: QOS},
-        seed=17,
-    )
+    ),
+    grid={},
+    seeds=(17,),
+    duration=150.0,
+    mobility="battlefield_platoons",
+    before_run="battlefield_mark_capability",
+    collector="qos_satisfaction_500ms",
+)
 
+
+def main() -> None:
     print(f"Battlefield scenario: {N_NODES} nodes in {N_PLATOONS} platoons, "
           f"{int(CH_CAPABLE_FRACTION * 100)}% CH-capable, QoS delay bound {QOS.max_delay*1000:.0f} ms")
-    result = run_scenario(
-        config,
-        duration=150.0,
-        mobility_factory=platoon_mobility,
-        before_run=mark_heterogeneous_capability,
-    )
-
-    delivery = result.report.delivery
-    network = result.scenario.network
-    delays = [d for record in network.deliveries.values() for d in record.delays()]
-    satisfaction = qos_satisfaction_ratio(delays, QOS)
+    (result,) = run_sweep(SPEC, progress=True)
+    metrics = result.metrics
 
     print()
-    print(f"Packets originated        : {delivery.packets_originated}")
-    print(f"Delivery ratio            : {delivery.delivery_ratio:.3f}")
-    print(f"Mean delay                : {delivery.mean_delay * 1000:.1f} ms")
-    print(f"QoS satisfaction (<=500ms): {satisfaction:.3f}")
-    backbone = result.report.backbone_load_balance
-    if backbone:
-        print(f"Cluster heads (vehicles)  : {backbone.node_count}")
-        print(f"Backbone Jain index       : {backbone.jain:.3f}")
-    stats = result.report.protocol_stats
-    print(f"Cluster-head hand-overs   : {stats['cluster_head_changes']}")
-    print(f"Hypercube-tier fail-overs : {stats['failovers']}")
+    print(f"Packets originated        : {metrics['packets_originated']}")
+    print(f"Delivery ratio            : {metrics['pdr']:.3f}")
+    print(f"Mean delay                : {metrics['mean_delay'] * 1000:.1f} ms")
+    print(f"QoS satisfaction (<=500ms): {metrics['qos_satisfaction']:.3f}")
+    if "backbone_jain" in metrics:
+        print(f"Cluster heads (vehicles)  : {metrics['backbone_nodes']}")
+        print(f"Backbone Jain index       : {metrics['backbone_jain']:.3f}")
+    print(f"Cluster-head hand-overs   : {metrics['cluster_head_changes']}")
+    print(f"Hypercube-tier fail-overs : {metrics['failovers']}")
 
 
 if __name__ == "__main__":

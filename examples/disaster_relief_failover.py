@@ -8,6 +8,13 @@ example runs a rescue-team network, kills a substantial fraction of the
 cluster heads mid-session and reports delivery before / during / after the
 failure together with the recovery time.
 
+Unlike the other examples, this one deliberately uses the *imperative*
+path -- :func:`repro.experiments.runner.run_scenario` with a
+``during_run`` callable -- because the post-run analysis (the windowed
+delivery timeline) needs the live network object.  For grids of runs,
+declare a :class:`~repro.experiments.orchestrator.SweepSpec` instead and
+let the orchestrator parallelise and cache them.
+
 Run with::
 
     python examples/disaster_relief_failover.py

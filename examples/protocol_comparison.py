@@ -1,62 +1,49 @@
 #!/usr/bin/env python
 """Compare HVDB against the baseline multicast protocols on one workload.
 
-Runs the same 100-node random-waypoint scenario under HVDB, flooding,
-SGM-style overlay trees, DSM-style source routing and SPBM-style
-hierarchical membership, and prints one table row per protocol -- the
-qualitative picture behind the paper's Related Work comparison
-(Section 2.2).
+Runs the registered ``protocol_comparison`` sweep -- the same 100-node
+random-waypoint scenario under HVDB, flooding, SGM-style overlay trees,
+DSM-style source routing and SPBM-style hierarchical membership (see
+``repro.experiments.specs``) -- on parallel workers, and prints one table
+row per protocol: the qualitative picture behind the paper's Related Work
+comparison (Section 2.2).
 
 Run with::
 
     python examples/protocol_comparison.py
+
+or equivalently ``python -m repro.experiments run protocol_comparison``.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import os
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig
+from repro.experiments import get_spec, run_sweep
 from repro.metrics.collectors import format_table
 
 
 def main() -> None:
-    base = ScenarioConfig(
-        n_nodes=100,
-        area_size=1500.0,
-        radio_range=250.0,
-        max_speed=4.0,
-        n_groups=1,
-        group_size=12,
-        traffic_interval=1.0,
-        traffic_start=30.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        dsm_position_period=15.0,
-        seed=31,
-    )
+    spec = get_spec("protocol_comparison")
+    workers = max(2, os.cpu_count() or 1)
+    print(f"running {spec.run_count} protocols on {workers} workers ...")
+    results = run_sweep(spec, workers=workers, progress=True)
 
     rows = []
-    for protocol in PROTOCOLS:
-        print(f"running {protocol} ...")
-        result = run_scenario(dataclasses.replace(base, protocol=protocol), duration=120.0)
-        report = result.report
+    for result in results:
+        metrics = result.metrics
         rows.append(
             {
-                "protocol": protocol,
-                "pdr": round(report.delivery.delivery_ratio, 3),
-                "delay_ms": round(report.delivery.mean_delay * 1000, 1),
+                "protocol": result.params["protocol"],
+                "pdr": round(metrics["pdr"], 3),
+                "delay_ms": round(metrics["mean_delay"] * 1000, 1),
                 "data_tx/pkt": round(
-                    report.overhead.data_packets
-                    / max(1, report.delivery.packets_originated),
-                    1,
+                    metrics["data_pkts"] / max(1, metrics["packets_originated"]), 1
                 ),
-                "ctrl_tx": report.overhead.control_packets,
-                "ctrlB/node/s": round(report.overhead.control_bytes_per_node_per_second, 1),
-                "jain": round(report.load_balance.jain, 3),
-                "peak/mean": round(report.load_balance.peak_to_mean_ratio, 2),
+                "ctrl_tx": metrics["ctrl_pkts"],
+                "ctrlB/node/s": round(metrics["ctrl_bytes_per_node_per_s"], 1),
+                "jain": round(metrics["jain"], 3),
+                "peak/mean": round(metrics["peak_to_mean"], 2),
             }
         )
 

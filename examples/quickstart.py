@@ -1,73 +1,69 @@
 #!/usr/bin/env python
 """Quickstart: run the HVDB QoS multicast protocol on a small MANET.
 
-Builds a 100-node mobile ad hoc network (random waypoint mobility), deploys
-the HVDB stack (virtual-circle clustering, the hypercube/mesh backbone and
-the three protocol algorithms of the paper), attaches one CBR multicast
-source and prints delivery, delay, overhead and load-balance figures.
+Executes the registered ``quickstart`` sweep (one 100-node random-waypoint
+scenario with the paper's 8x8 virtual-circle grid and 4-dimensional
+hypercubes -- see ``repro.experiments.specs``) through the experiment
+orchestrator and prints delivery, delay, overhead and load-balance
+figures.
 
 Run with::
 
     python examples/quickstart.py
+
+The same scenario is available from the command line::
+
+    python -m repro.experiments run quickstart
 """
 
 from __future__ import annotations
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments import get_spec, run_sweep
 from repro.metrics.collectors import format_table
 
 
 def main() -> None:
-    config = ScenarioConfig(
-        protocol="hvdb",        # the paper's protocol; try "flooding" or "sgm" too
-        n_nodes=100,            # mobile nodes
-        area_size=1500.0,       # metres (square)
-        radio_range=250.0,      # metres
-        max_speed=5.0,          # m/s random waypoint
-        n_groups=1,
-        group_size=10,          # multicast receivers
-        traffic_interval=1.0,   # one 512-byte packet per second
-        vc_cols=8, vc_rows=8,   # the paper's 8x8 virtual-circle grid (Figure 2)
-        dimension=4,            # 4-dimensional logical hypercubes (Figure 3)
-        seed=7,
-    )
+    spec = get_spec("quickstart")
+    print(f"Building and running the scenario ({spec.duration:.0f} simulated seconds)...")
+    (result,) = run_sweep(spec, progress=True)
+    metrics = result.metrics
 
-    print("Building and running the scenario (about 120 simulated seconds)...")
-    result = run_scenario(config, duration=120.0)
-    report = result.report
-
+    summary = {
+        "protocol": metrics["protocol"],
+        "nodes": metrics["nodes"],
+        "pdr": round(metrics["pdr"], 4),
+        "mean_delay_ms": round(metrics["mean_delay"] * 1000, 2),
+        "ctrl_pkts": metrics["ctrl_pkts"],
+        "tx_per_delivery": round(metrics["tx_per_delivery"], 2),
+        "jain": round(metrics["jain"], 4),
+    }
     print()
-    print(format_table([report.as_row()], title="HVDB quickstart summary"))
+    print(format_table([summary], title="HVDB quickstart summary"))
     print()
-    delivery = report.delivery
-    overhead = report.overhead
-    print(f"Multicast packets originated : {delivery.packets_originated}")
-    print(f"Delivery ratio               : {delivery.delivery_ratio:.3f}")
-    print(f"Mean end-to-end delay        : {delivery.mean_delay * 1000:.1f} ms")
-    print(f"95th percentile delay        : {delivery.p95_delay * 1000:.1f} ms")
-    print(f"Control packets transmitted  : {overhead.control_packets}")
-    print(f"Control bytes / node / s     : {overhead.control_bytes_per_node_per_second:.1f}")
-    print(f"Transmissions per delivery   : {overhead.transmissions_per_delivered:.2f}")
+    print(f"Multicast packets originated : {metrics['packets_originated']}")
+    print(f"Delivery ratio               : {metrics['pdr']:.3f}")
+    print(f"Mean end-to-end delay        : {metrics['mean_delay'] * 1000:.1f} ms")
+    print(f"95th percentile delay        : {metrics['p95_delay'] * 1000:.1f} ms")
+    print(f"Control packets transmitted  : {metrics['ctrl_pkts']}")
+    print(f"Control bytes / node / s     : {metrics['ctrl_bytes_per_node_per_s']:.1f}")
+    print(f"Transmissions per delivery   : {metrics['tx_per_delivery']:.2f}")
 
-    backbone = report.backbone_load_balance
-    if backbone is not None:
+    if "backbone_jain" in metrics:
         print()
         print("Backbone (cluster-head) load balance:")
-        print(f"  cluster heads            : {backbone.node_count}")
-        print(f"  Jain fairness index      : {backbone.jain:.3f}")
-        print(f"  peak-to-mean load ratio  : {backbone.peak_to_mean_ratio:.2f}")
+        print(f"  cluster heads            : {metrics['backbone_nodes']}")
+        print(f"  Jain fairness index      : {metrics['backbone_jain']:.3f}")
+        print(f"  peak-to-mean load ratio  : {metrics['backbone_peak_to_mean']:.2f}")
 
-    stats = report.protocol_stats
     print()
     print("Protocol activity (paper Figures 4-6):")
-    print(f"  route-maintenance beacons  : {stats['route_beacons_sent']}")
-    print(f"  MNT-Summary rounds         : {stats['mnt_summaries_sent']}")
-    print(f"  HT-Summary broadcasts      : {stats['ht_summaries_broadcast']}")
-    print(f"  mesh-tier forwards         : {stats['data_forwarded_mesh']}")
-    print(f"  hypercube-tier forwards    : {stats['data_forwarded_cube']}")
-    print(f"  fail-overs taken           : {stats['failovers']}")
-    print(f"  cluster-head hand-overs    : {stats['cluster_head_changes']}")
+    print(f"  route-maintenance beacons  : {metrics['route_beacons_sent']}")
+    print(f"  MNT-Summary rounds         : {metrics['mnt_summaries_sent']}")
+    print(f"  HT-Summary broadcasts      : {metrics['ht_summaries_broadcast']}")
+    print(f"  mesh-tier forwards         : {metrics['data_forwarded_mesh']}")
+    print(f"  hypercube-tier forwards    : {metrics['data_forwarded_cube']}")
+    print(f"  fail-overs taken           : {metrics['failovers']}")
+    print(f"  cluster-head hand-overs    : {metrics['cluster_head_changes']}")
 
 
 if __name__ == "__main__":

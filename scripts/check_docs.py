@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (the `make docs-check` target).
+
+Fails (exit code 1) if documentation has drifted from the code:
+
+1. required docs exist (README.md, docs/architecture.md);
+2. README documents every CLI subcommand the shipped parser actually has,
+   and every registered sweep-spec/make-target mentioned exists;
+3. every module under ``src/repro`` has a module docstring;
+4. every package ``__init__`` resolves its declared ``__all__`` (imports
+   that silently rot are the most common docstring drift);
+5. every submodule a package docstring mentions (``:mod:`repro...```)
+   actually exists;
+6. docs mention no repo files that do not exist (DESIGN.md-style drift).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+sys.path.insert(0, SRC)
+
+ERRORS: list = []
+
+
+def error(message: str) -> None:
+    ERRORS.append(message)
+    print(f"docs-check: FAIL: {message}")
+
+
+def check_required_docs() -> None:
+    for rel in ("README.md", "docs/architecture.md", "ROADMAP.md", "CHANGES.md"):
+        if not os.path.isfile(os.path.join(ROOT, rel)):
+            error(f"required doc missing: {rel}")
+
+
+def check_readme_matches_cli() -> None:
+    readme_path = os.path.join(ROOT, "README.md")
+    if not os.path.isfile(readme_path):
+        return
+    with open(readme_path, encoding="utf-8") as fh:
+        readme = fh.read()
+
+    from repro.experiments.__main__ import _build_parser
+
+    parser = _build_parser()
+    subcommands = []
+    for action in parser._actions:  # argparse keeps subparsers here
+        if hasattr(action, "choices") and action.choices:
+            subcommands = list(action.choices)
+    for command in subcommands:
+        if f"python -m repro.experiments {command}" not in readme:
+            error(f"README does not document CLI subcommand {command!r}")
+
+    for target in ("make test", "make bench-smoke", "make docs-check"):
+        if target not in readme:
+            error(f"README does not mention {target!r}")
+
+
+def iter_modules() -> list:
+    modules = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(SRC, "repro")):
+        for filename in filenames:
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, SRC)
+                name = rel[: -len(".py")].replace(os.sep, ".")
+                if name.endswith(".__init__"):
+                    name = name[: -len(".__init__")]
+                modules.append((name, path))
+    return sorted(modules)
+
+
+def check_module_docstrings() -> None:
+    for name, path in iter_modules():
+        with open(path, encoding="utf-8") as fh:
+            tree = ast.parse(fh.read(), filename=path)
+        if not ast.get_docstring(tree):
+            error(f"module {name} has no docstring")
+
+
+def check_package_exports() -> None:
+    for name, path in iter_modules():
+        if not path.endswith("__init__.py"):
+            continue
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            if not hasattr(module, symbol):
+                error(f"{name}.__all__ lists {symbol!r} but it does not resolve")
+        # submodules the docstring advertises must exist
+        for ref in re.findall(r":mod:`(repro[.\w]*)`", module.__doc__ or ""):
+            try:
+                importlib.import_module(ref)
+            except ImportError:
+                error(f"{name} docstring mentions :mod:`{ref}` which does not import")
+
+
+def check_no_phantom_files() -> None:
+    pattern = re.compile(r"\b([A-Z]{2,}[A-Z_]*\.md)\b")
+    for rel in ("README.md", "docs/architecture.md"):
+        path = os.path.join(ROOT, rel)
+        if not os.path.isfile(path):
+            continue
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for mentioned in set(pattern.findall(text)):
+            if not os.path.isfile(os.path.join(ROOT, mentioned)):
+                error(f"{rel} mentions {mentioned} which does not exist in the repo")
+
+
+def main() -> int:
+    check_required_docs()
+    check_readme_matches_cli()
+    check_module_docstrings()
+    check_package_exports()
+    check_no_phantom_files()
+    if ERRORS:
+        print(f"docs-check: {len(ERRORS)} problem(s)")
+        return 1
+    modules = len(iter_modules())
+    print(f"docs-check: OK ({modules} modules, docstrings/exports/CLI docs consistent)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,15 @@ Quickstart::
     result = run_scenario(ScenarioConfig(protocol="hvdb", n_nodes=80), duration=90.0)
     print(result.report.delivery.delivery_ratio)
 
-See ``examples/`` for richer, commented scenarios and ``DESIGN.md`` for
-the system inventory and per-experiment index.
+Parameter grids run through the parallel orchestrator -- see
+:mod:`repro.experiments.orchestrator` or the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments run e2_scalability --workers 4
+
+See ``examples/`` for richer, commented scenarios, ``README.md`` for the
+package map and commands, and ``docs/architecture.md`` for the layering
+of the simulation stack and the orchestrator's run lifecycle.
 """
 
 __version__ = "1.0.0"

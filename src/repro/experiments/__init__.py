@@ -3,9 +3,39 @@
 * :mod:`repro.experiments.scenarios` -- :class:`ScenarioConfig` and the
   builders that assemble a complete simulated network for the HVDB
   protocol or any baseline.
-* :mod:`repro.experiments.runner` -- run one scenario and collect a
-  :class:`~repro.metrics.collectors.MetricsReport`; sweep helpers used by
-  the benchmark files under ``benchmarks/``.
+* :mod:`repro.experiments.runner` -- run one scenario in-process and
+  collect a :class:`~repro.metrics.collectors.MetricsReport`; the
+  executor the orchestrator's workers invoke.
+* :mod:`repro.experiments.orchestrator` -- the parallel sweep engine:
+  declarative :class:`SweepSpec` grids expanded into seeded runs, fanned
+  out over ``multiprocessing`` workers, cached on disk by content hash,
+  aggregated into :class:`RunResult` records with CSV/JSON export and
+  mean +/- 95% CI summaries.
+* :mod:`repro.experiments.specs` -- the registry of named sweeps (the
+  benchmark grids E2/E3/E6/E7, the example scenarios, a smoke sweep).
+* ``python -m repro.experiments`` -- CLI over the registry:
+  ``list`` / ``run`` / ``resume`` / ``export``.
+
+Minimal single run::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(protocol="hvdb", n_nodes=80), duration=90.0)
+    print(result.report.delivery.delivery_ratio)
+
+Parallel, cached sweep::
+
+    from repro.experiments import SweepSpec, run_sweep, summarize
+
+    spec = SweepSpec(
+        name="demo",
+        base=ScenarioConfig(protocol="flooding", area_size=900.0),
+        grid={"n_nodes": [30, 60], "group_size": [5, 10]},
+        seeds=(1, 2, 3),
+        duration=60.0,
+    )
+    results = run_sweep(spec, workers=4, cache_dir=".repro-cache")
+    rows = summarize(results)          # one row per grid point, mean ± CI
 """
 
 from repro.experiments.scenarios import (
@@ -14,7 +44,32 @@ from repro.experiments.scenarios import (
     build_scenario,
     PROTOCOLS,
 )
-from repro.experiments.runner import run_scenario, sweep, ExperimentResult
+from repro.experiments.runner import run_scenario, sweep, ExperimentResult, results_table
+from repro.experiments.orchestrator import (
+    SweepSpec,
+    SweepError,
+    RunSpec,
+    RunResult,
+    ResultCache,
+    expand_spec,
+    run_sweep,
+    execute_run,
+    summarize,
+    mean_ci95,
+    export_csv,
+    export_json,
+    load_csv,
+    load_json,
+    register_collector,
+    register_mobility,
+    register_hook,
+)
+from repro.experiments.specs import (
+    SPECS,
+    available_specs,
+    get_spec,
+    register_spec,
+)
 
 __all__ = [
     "ScenarioConfig",
@@ -24,4 +79,26 @@ __all__ = [
     "run_scenario",
     "sweep",
     "ExperimentResult",
+    "results_table",
+    "SweepSpec",
+    "SweepError",
+    "RunSpec",
+    "RunResult",
+    "ResultCache",
+    "expand_spec",
+    "run_sweep",
+    "execute_run",
+    "summarize",
+    "mean_ci95",
+    "export_csv",
+    "export_json",
+    "load_csv",
+    "load_json",
+    "register_collector",
+    "register_mobility",
+    "register_hook",
+    "SPECS",
+    "available_specs",
+    "get_spec",
+    "register_spec",
 ]

@@ -1,0 +1,255 @@
+"""Command-line front end for the sweep orchestrator.
+
+::
+
+    python -m repro.experiments list
+    python -m repro.experiments run SWEEP [--workers N] [--seeds 1,2,3] ...
+    python -m repro.experiments resume SWEEP [...]
+    python -m repro.experiments export SWEEP --out DIR [...]
+
+``run`` executes a registered sweep (see ``list``) on a pool of worker
+processes, caching finished runs under ``--cache-dir`` so an interrupted
+or repeated invocation only executes what is missing; ``resume`` is
+``run`` with the additional guarantee that it refuses to start from a
+cold cache (catching a mistyped ``--cache-dir``).  ``export`` rebuilds
+the CSV/JSON artifacts purely from cached results without running
+anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.orchestrator import (
+    ResultCache,
+    RunResult,
+    SweepSpec,
+    expand_spec,
+    export_csv,
+    export_json,
+    run_sweep,
+    summarize,
+)
+from repro.experiments.specs import available_specs, get_spec
+from repro.metrics.collectors import format_table
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+DEFAULT_OUT_DIR = "artifacts"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run, resume and export the repo's experiment sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered sweeps")
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("sweep", help="registered sweep name (see `list`)")
+        p.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            help=f"run-result cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+        p.add_argument(
+            "--out",
+            default=DEFAULT_OUT_DIR,
+            help=f"artifact output directory (default: {DEFAULT_OUT_DIR})",
+        )
+        p.add_argument(
+            "--format",
+            choices=("csv", "json", "both", "none"),
+            default="both",
+            help="artifact format(s) to write (default: both)",
+        )
+        p.add_argument(
+            "--seeds",
+            default=None,
+            help="comma-separated replication seeds overriding the spec's",
+        )
+        p.add_argument(
+            "--duration",
+            type=float,
+            default=None,
+            help="simulated seconds per run, overriding the spec's",
+        )
+
+    for name, help_text in (
+        ("run", "execute a sweep (incremental: cached runs are reused)"),
+        ("resume", "continue a previously started sweep from its cache"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_common(p)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=max(1, min(4, os.cpu_count() or 1)),
+            help="worker processes (default: min(4, cpu count))",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="run without reading or writing the cache",
+        )
+        p.add_argument(
+            "--force",
+            action="store_true",
+            help="ignore cached results and re-run everything",
+        )
+
+    p = sub.add_parser("export", help="write artifacts from cached results, running nothing")
+    add_common(p)
+    return parser
+
+
+class CliError(Exception):
+    """A user-input problem reported as a clean message, not a traceback."""
+
+
+def _customize(spec: SweepSpec, args: argparse.Namespace) -> SweepSpec:
+    replacements = {}
+    if getattr(args, "seeds", None):
+        try:
+            replacements["seeds"] = tuple(int(s) for s in args.seeds.split(","))
+        except ValueError:
+            raise CliError(f"--seeds must be comma-separated integers, got {args.seeds!r}")
+    if getattr(args, "duration", None) is not None:
+        replacements["duration"] = args.duration
+    return dataclasses.replace(spec, **replacements) if replacements else spec
+
+
+def _write_artifacts(
+    spec: SweepSpec, results: Sequence[RunResult], out_dir: str, fmt: str
+) -> List[str]:
+    written: List[str] = []
+    if fmt in ("csv", "both"):
+        path = os.path.join(out_dir, f"{spec.name}.csv")
+        export_csv(results, path)
+        written.append(path)
+    if fmt in ("json", "both"):
+        path = os.path.join(out_dir, f"{spec.name}.json")
+        export_json(results, path, spec=spec)
+        written.append(path)
+    return written
+
+
+def _print_summary(spec: SweepSpec, results: Sequence[RunResult]) -> None:
+    key_metrics = [
+        m for m in ("pdr", "mean_delay", "ctrl_pkts", "tx_per_delivery", "qos_satisfaction")
+        if results and m in results[0].metrics
+    ]
+    rows = summarize(results, metrics=key_metrics)
+    display = []
+    for row in rows:
+        out = {k: v for k, v in row.items() if not k.endswith("_ci95")}
+        for metric in key_metrics:
+            mean = out.pop(f"{metric}_mean", None)
+            ci = row.get(f"{metric}_ci95", 0.0)
+            if mean is not None:
+                out[metric] = f"{mean:g}±{ci:g}" if ci else f"{mean:g}"
+        display.append(out)
+    print(format_table(display, title=f"{spec.name}: mean ± 95% CI over seeds"))
+
+
+def _cmd_list() -> int:
+    rows = [
+        {
+            "sweep": spec.name,
+            "runs": spec.run_count,
+            "axes": " x ".join(spec.grid.keys()) or "-",
+            "seeds": len(spec.seeds),
+            "description": spec.description,
+        }
+        for spec in available_specs()
+    ]
+    print(format_table(rows, title="Registered sweeps (python -m repro.experiments run NAME)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
+    spec = _customize(get_spec(args.sweep), args)
+    cache_dir: Optional[str] = None if args.no_cache else args.cache_dir
+    if require_cache and (cache_dir is None or not os.path.isdir(cache_dir)):
+        print(
+            f"resume: no cache at {args.cache_dir!r} -- use `run` to start this sweep",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_sweep(
+        spec,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        force=args.force,
+        progress=True,
+    )
+    _print_summary(spec, results)
+    for path in _write_artifacts(spec, results, args.out, args.format):
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    spec = _customize(get_spec(args.sweep), args)
+    if not os.path.isdir(args.cache_dir):
+        print(f"export: no cache directory at {args.cache_dir!r}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    results: List[RunResult] = []
+    missing = 0
+    for run in expand_spec(spec):
+        cached = cache.get(run.cache_key())
+        if cached is None:
+            missing += 1
+        else:
+            cached.run_id = run.run_id
+            cached.params = dict(run.params)
+            results.append(cached)
+    if not results:
+        print(
+            f"export: no cached results for sweep {spec.name!r} "
+            "(if the sweep was run with --seeds/--duration overrides, "
+            "pass the same overrides to export)",
+            file=sys.stderr,
+        )
+        return 2
+    if missing:
+        print(
+            f"export: {missing} of {spec.run_count} runs not cached; "
+            "artifact is partial (use `run` to fill the cache)",
+            file=sys.stderr,
+        )
+    _print_summary(spec, results)
+    for path in _write_artifacts(spec, results, args.out, args.format):
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args, require_cache=False)
+        if args.command == "resume":
+            return _cmd_run(args, require_cache=True)
+        if args.command == "export":
+            return _cmd_export(args)
+    except CliError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # unknown sweep name from the registry lookup
+        print(f"{args.command}: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

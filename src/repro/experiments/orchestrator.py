@@ -1,0 +1,652 @@
+"""Parallel sweep orchestration.
+
+The evaluation of the paper rests on grids of scenario runs (node count x
+mobility x group churn x QoS settings, several seeds each).  This module
+is the engine that executes such grids:
+
+* :class:`SweepSpec` -- a *declarative* description of a sweep: one base
+  :class:`~repro.experiments.scenarios.ScenarioConfig`, a parameter grid,
+  and a list of replication seeds.  ``benchmarks/`` and ``examples/``
+  define their experiments as specs instead of hand-rolled loops.
+* :func:`expand_spec` -- turn a spec into concrete :class:`RunSpec`\\ s
+  (the cross product of every grid axis and every seed, with
+  deterministic per-run RNG seeding).
+* :func:`run_sweep` -- execute the runs, fanning them out over
+  ``multiprocessing`` workers, with an on-disk :class:`ResultCache` keyed
+  by a content hash of (config, duration, seed, code version) so
+  re-running a sweep only executes what changed.
+* :class:`RunResult` -- the typed record one run produces: the swept
+  parameters, the seed, and a flat metrics dictionary.  JSON/CSV export
+  via :func:`export_json` / :func:`export_csv`, mean +/- 95% CI
+  aggregation via :func:`summarize`.
+
+Example -- a 2-axis sweep with 3 replication seeds, run on 4 workers::
+
+    from repro.experiments import ScenarioConfig, SweepSpec, run_sweep, summarize
+
+    spec = SweepSpec(
+        name="density",
+        base=ScenarioConfig(protocol="flooding", area_size=900.0),
+        grid={"n_nodes": [30, 60], "group_size": [5, 10]},
+        seeds=(1, 2, 3),
+        duration=60.0,
+    )
+    results = run_sweep(spec, workers=4, cache_dir=".repro-cache")
+    for row in summarize(results):
+        print(row["n_nodes"], row["group_size"], row["pdr_mean"], row["pdr_ci95"])
+
+A grid axis usually names a single ``ScenarioConfig`` field, but an axis
+value may also be a dict of several field overrides that must move
+together (e.g. growing the area with the node count to keep density
+constant)::
+
+    grid = {"n_nodes": [{"n_nodes": 60, "area_size": 1162.0},
+                        {"n_nodes": 120, "area_size": 1643.0}]}
+
+Hooks that need code, not data -- per-run metric extraction with access to
+the live scenario, or a custom mobility model -- are referenced *by name*
+through :func:`register_collector` / :func:`register_mobility` so a
+:class:`RunSpec` stays picklable across process boundaries.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import hashlib
+import itertools
+import json
+import math
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.scenarios import ScenarioConfig
+
+#: Bump to invalidate every cached result after a change to the simulation
+#: or metrics code that alters run outcomes.
+CACHE_VERSION = 1
+
+
+class SweepError(RuntimeError):
+    """One or more runs of a sweep failed.
+
+    Raised *after* every other run has been drained and recorded (and,
+    with a cache directory, persisted), so a re-run of the same sweep
+    resumes from the completed work instead of repeating it.
+    """
+
+# ---------------------------------------------------------------------------
+# Registries: picklable-by-name hooks
+# ---------------------------------------------------------------------------
+
+_COLLECTORS: Dict[str, Callable] = {}
+_MOBILITY_FACTORIES: Dict[str, Callable] = {}
+_HOOKS: Dict[str, Callable] = {}
+
+
+def register_collector(name: str) -> Callable:
+    """Register a post-run metric collector under ``name``.
+
+    The collector is called in the worker process as ``fn(result)`` with
+    the full :class:`~repro.experiments.runner.ExperimentResult` (scenario
+    included) and must return a dict of extra scalar metrics, which is
+    merged into :attr:`RunResult.metrics`.  Referencing collectors by name
+    keeps :class:`RunSpec` picklable.
+
+    Worker processes are forked where available, so registrations made in
+    any imported module (or a ``__main__`` script) are visible to them.
+    On spawn-only platforms workers re-import from scratch and only see
+    registrations made at import of :mod:`repro.experiments.specs`; hooks
+    defined elsewhere then require ``workers=1``.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        _COLLECTORS[name] = fn
+        return fn
+
+    return decorator
+
+
+def register_mobility(name: str) -> Callable:
+    """Register a mobility factory ``fn(config, node_ids) -> MobilityModel``."""
+
+    def decorator(fn: Callable) -> Callable:
+        _MOBILITY_FACTORIES[name] = fn
+        return fn
+
+    return decorator
+
+
+def register_hook(name: str) -> Callable:
+    """Register a scenario hook ``fn(scenario) -> None``.
+
+    Hooks are referenced by a spec's ``before_run`` (called after the
+    scenario is built, before the simulation starts) or ``during_run``
+    (called halfway through the run, e.g. to inject failures) -- the same
+    seams :func:`~repro.experiments.runner.run_scenario` exposes as
+    callables.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        _HOOKS[name] = fn
+        return fn
+
+    return decorator
+
+
+def _resolve_registered(registry: Dict[str, Callable], name: str, kind: str) -> Callable:
+    if name not in registry:
+        # Spec modules register their hooks at import time; make sure the
+        # bundled ones are loaded (lazy import avoids a cycle: specs
+        # imports this module for SweepSpec).
+        import repro.experiments.specs  # noqa: F401
+
+    if name not in registry:
+        raise KeyError(
+            f"no {kind} registered under {name!r} (known: {sorted(registry)}). "
+            "If it is registered outside repro.experiments.specs, make sure the "
+            "registering module is imported before the sweep runs (on spawn-only "
+            "platforms, worker processes only re-import repro.experiments.specs)."
+        )
+    return registry[name]
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved run: a concrete config, seed and duration.
+
+    Produced by :func:`expand_spec`; everything here is picklable so the
+    run can be shipped to a worker process as-is.
+    """
+
+    run_id: str                       #: stable human-readable identifier
+    config: ScenarioConfig            #: fully-resolved (overrides + seed applied)
+    duration: float
+    seed: int
+    params: Dict[str, Any] = field(default_factory=dict)  #: the swept values
+    collector: Optional[str] = None   #: registered collector name
+    mobility: Optional[str] = None    #: registered mobility-factory name
+    before_run: Optional[str] = None  #: registered hook, called before start
+    during_run: Optional[str] = None  #: registered hook, called mid-run
+
+    def cache_key(self) -> str:
+        """Content hash identifying this run's outcome.
+
+        Covers every input that determines the result: the complete
+        scenario config, the duration, the named hooks and
+        :data:`CACHE_VERSION` (bumped on behaviour-changing code edits).
+        The sweep name and cosmetic run id are deliberately excluded, so
+        identical runs reached through different sweeps share cache
+        entries.
+        """
+        payload = {
+            "version": CACHE_VERSION,
+            "config": _canonical(dataclasses.asdict(self.config)),
+            "duration": self.duration,
+            "collector": self.collector,
+            "mobility": self.mobility,
+            "before_run": self.before_run,
+            "during_run": self.during_run,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _canonical(value: Any) -> Any:
+    """Make a config dict deterministic and JSON-safe for hashing."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value):
+        return _canonical(dataclasses.asdict(value))
+    return repr(value)
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of a parameter sweep.
+
+    ``grid`` maps an axis name to the values it takes; the full sweep is
+    the cross product of all axes times all ``seeds``.  An axis value is
+    either a value for the ``ScenarioConfig`` field named by the axis, or
+    a dict of several coupled field overrides.
+    """
+
+    name: str
+    base: ScenarioConfig
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    seeds: Sequence[int] = (1,)
+    duration: float = 90.0
+    description: str = ""
+    collector: Optional[str] = None
+    mobility: Optional[str] = None
+    before_run: Optional[str] = None
+    during_run: Optional[str] = None
+
+    @property
+    def run_count(self) -> int:
+        count = 1
+        for values in self.grid.values():
+            count *= len(values)
+        return count * len(self.seeds)
+
+    def expand(self) -> List[RunSpec]:
+        return expand_spec(self)
+
+
+def _axis_overrides(axis: str, value: Any) -> Dict[str, Any]:
+    if isinstance(value, dict):
+        return dict(value)
+    return {axis: value}
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def expand_spec(spec: SweepSpec) -> List[RunSpec]:
+    """Cross product of every grid axis and every seed, in a stable order.
+
+    Per-run RNG seeding is deterministic: the run's seed replaces
+    ``base.seed`` wholesale, and every stochastic component of a scenario
+    derives its stream from that one value, so the same (spec, seed) pair
+    always reproduces the same run.
+    """
+    axes = list(spec.grid.keys())
+    value_lists = [list(spec.grid[a]) for a in axes]
+    runs: List[RunSpec] = []
+    for combo in itertools.product(*value_lists) if axes else [()]:
+        overrides: Dict[str, Any] = {}
+        for axis, value in zip(axes, combo):
+            overrides.update(_axis_overrides(axis, value))
+        # an explicit "seed" axis replaces the replication-seed loop, so
+        # sweeping the seed itself (sweep(parameter="seed")) works without
+        # colliding with spec.seeds
+        seed_values = (overrides["seed"],) if "seed" in overrides else spec.seeds
+        for run_seed in seed_values:
+            merged = {k: v for k, v in overrides.items() if k != "seed"}
+            config = dataclasses.replace(spec.base, seed=run_seed, **merged)
+            params = dict(overrides)
+            label = ",".join(
+                f"{k}={_format_value(v)}" for k, v in sorted(params.items())
+            ) or "base"
+            runs.append(
+                RunSpec(
+                    run_id=f"{spec.name}/{label}/seed={run_seed}",
+                    config=config,
+                    duration=spec.duration,
+                    seed=run_seed,
+                    params=params,
+                    collector=spec.collector,
+                    mobility=spec.mobility,
+                    before_run=spec.before_run,
+                    during_run=spec.during_run,
+                )
+            )
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """The typed record one run produces.
+
+    ``metrics`` is the flat scalar dictionary from
+    :meth:`~repro.metrics.collectors.MetricsReport.flat_row`, plus
+    whatever the spec's collector added.  ``params`` is the swept
+    parameter assignment for this run (field name -> value).
+    """
+
+    run_id: str
+    params: Dict[str, Any]
+    seed: int
+    duration: float
+    metrics: Dict[str, Any]
+    wall_time: float = 0.0
+    from_cache: bool = False
+    cache_key: str = ""
+
+    def row(self) -> Dict[str, Any]:
+        """One flat dict: params, then seed, then every metric."""
+        row: Dict[str, Any] = dict(self.params)
+        row["seed"] = self.seed
+        for key, value in self.metrics.items():
+            row.setdefault(key, value)
+        return row
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class ResultCache:
+    """Disk cache of finished runs, one JSON file per content hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result = RunResult.from_dict(data)
+        result.from_cache = True
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        tmp = self._path(key) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh)
+        os.replace(tmp, self._path(key))
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def execute_run(run: RunSpec) -> RunResult:
+    """Execute one run to completion (in the current process).
+
+    This is the function worker processes invoke; it builds the scenario,
+    runs it, and flattens the report into picklable scalars -- the heavy
+    network object never crosses a process boundary.
+    """
+    from repro.experiments.runner import run_scenario  # runner builds on this module
+
+    mobility_factory = (
+        _resolve_registered(_MOBILITY_FACTORIES, run.mobility, "mobility factory")
+        if run.mobility
+        else None
+    )
+    before_run = (
+        _resolve_registered(_HOOKS, run.before_run, "hook") if run.before_run else None
+    )
+    during_run = (
+        _resolve_registered(_HOOKS, run.during_run, "hook") if run.during_run else None
+    )
+    started = time.perf_counter()
+    result = run_scenario(
+        run.config,
+        duration=run.duration,
+        mobility_factory=mobility_factory,
+        before_run=before_run,
+        during_run=during_run,
+    )
+    metrics = result.report.flat_row()
+    if run.collector:
+        collector = _resolve_registered(_COLLECTORS, run.collector, "collector")
+        metrics.update(collector(result))
+    return RunResult(
+        run_id=run.run_id,
+        params=dict(run.params),
+        seed=run.seed,
+        duration=run.duration,
+        metrics=metrics,
+        wall_time=time.perf_counter() - started,
+        cache_key=run.cache_key(),
+    )
+
+
+def _log(progress: bool, message: str) -> None:
+    if progress:
+        print(message, file=sys.stderr, flush=True)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    force: bool = False,
+    progress: bool = False,
+) -> List[RunResult]:
+    """Execute every run of ``spec`` and return results in expansion order.
+
+    ``workers > 1`` fans pending runs out over a process pool.  With
+    ``cache_dir`` set, completed runs are persisted and later invocations
+    only execute cache misses (``force=True`` re-runs everything and
+    refreshes the cache).  Deterministic seeding makes this safe: a cached
+    result is bit-identical to re-running the same spec and seed.
+    """
+    runs = expand_spec(spec)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    results: Dict[int, RunResult] = {}
+    pending: List[tuple] = []          # (index, RunSpec)
+    for index, run in enumerate(runs):
+        cached = cache.get(run.cache_key()) if cache is not None and not force else None
+        if cached is not None:
+            cached.run_id = run.run_id          # cosmetic: report under this sweep's id
+            cached.params = dict(run.params)
+            results[index] = cached
+        else:
+            pending.append((index, run))
+
+    hit_count = len(runs) - len(pending)
+    _log(
+        progress,
+        f"[{spec.name}] {len(runs)} runs: {hit_count} cache hits, "
+        f"{len(pending)} to execute on {max(1, workers)} worker(s)",
+    )
+
+    done = 0
+
+    def record(index: int, result: RunResult) -> None:
+        nonlocal done
+        results[index] = result
+        if cache is not None:
+            cache.put(result.cache_key, result)
+        done += 1
+        pdr = result.metrics.get("pdr")
+        pdr_note = f" pdr={pdr:.3f}" if isinstance(pdr, float) else ""
+        _log(
+            progress,
+            f"[{spec.name}] ({done}/{len(pending)}) {result.run_id}"
+            f"{pdr_note} ({result.wall_time:.1f}s)",
+        )
+
+    failures: List[tuple] = []       # (run_id, exception)
+
+    if len(pending) == 0:
+        pass
+    elif workers <= 1 or len(pending) == 1:
+        for index, run in pending:
+            try:
+                record(index, execute_run(run))
+            except Exception as exc:
+                failures.append((run.run_id, exc))
+                _log(progress, f"[{spec.name}] FAILED {run.run_id}: {exc!r}")
+    else:
+        import concurrent.futures
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        ) as pool:
+            futures = {pool.submit(execute_run, run): (index, run) for index, run in pending}
+            # drain every future even when one fails, so completed runs
+            # are still recorded (and cached) before the error is raised
+            for future in concurrent.futures.as_completed(futures):
+                index, run = futures[future]
+                try:
+                    record(index, future.result())
+                except Exception as exc:
+                    failures.append((run.run_id, exc))
+                    _log(progress, f"[{spec.name}] FAILED {run.run_id}: {exc!r}")
+
+    if failures:
+        completed = len(runs) - len(failures)
+        detail = "; ".join(f"{run_id}: {exc!r}" for run_id, exc in failures[:5])
+        if len(failures) > 5:
+            detail += f"; ... {len(failures) - 5} more"
+        raise SweepError(
+            f"{len(failures)} of {len(runs)} runs failed in sweep {spec.name!r} "
+            f"({completed} completed"
+            + (", cached -- a re-run resumes from them" if cache is not None else "")
+            + f"): {detail}"
+        )
+
+    _log(
+        progress,
+        f"[{spec.name}] done: {hit_count} cached + {len(pending)} executed",
+    )
+    return [results[i] for i in range(len(runs))]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation and export
+# ---------------------------------------------------------------------------
+
+#: two-sided 95% Student-t critical values by degrees of freedom (1..30);
+#: beyond 30 the normal approximation 1.96 is used.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def _t95(df: int) -> float:
+    if df <= 0:
+        return 0.0
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.96
+
+
+def mean_ci95(values: Sequence[float]) -> tuple:
+    """Sample mean and half-width of the 95% confidence interval."""
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = _t95(n - 1) * math.sqrt(variance / n)
+    return mean, half_width
+
+
+def summarize(
+    results: Iterable[RunResult],
+    metrics: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Aggregate replications: one row per parameter combination.
+
+    Runs sharing identical ``params`` (i.e. differing only in seed) are
+    pooled; every numeric metric (or just ``metrics`` if given) is
+    reported as ``<name>_mean`` and ``<name>_ci95``, plus an ``n_seeds``
+    column.
+    """
+    groups: Dict[tuple, List[RunResult]] = {}
+    for result in results:
+        key = tuple(sorted(result.params.items(), key=lambda kv: kv[0]))
+        groups.setdefault(key, []).append(result)
+
+    rows: List[Dict[str, Any]] = []
+    for key, members in groups.items():
+        row: Dict[str, Any] = dict(key)
+        row["n_seeds"] = len(members)
+        names = metrics
+        if names is None:
+            names = [
+                name
+                for name, value in members[0].metrics.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+        for name in names:
+            values = [
+                float(m.metrics[name])
+                for m in members
+                if isinstance(m.metrics.get(name), (int, float))
+            ]
+            mean, ci = mean_ci95(values)
+            row[f"{name}_mean"] = round(mean, 6)
+            row[f"{name}_ci95"] = round(ci, 6)
+        rows.append(row)
+    return rows
+
+
+def export_json(results: Sequence[RunResult], path: str, spec: Optional[SweepSpec] = None) -> None:
+    """Write results (and optionally the generating spec) as one JSON document."""
+    document: Dict[str, Any] = {"results": [r.to_dict() for r in results]}
+    if spec is not None:
+        document["spec"] = {
+            "name": spec.name,
+            "description": spec.description,
+            "duration": spec.duration,
+            "seeds": list(spec.seeds),
+            "grid": {axis: [_canonical(v) for v in values] for axis, values in spec.grid.items()},
+            "base": _canonical(dataclasses.asdict(spec.base)),
+        }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+
+
+def load_json(path: str) -> List[RunResult]:
+    """Inverse of :func:`export_json` (the spec block, if present, is ignored)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    return [RunResult.from_dict(d) for d in document["results"]]
+
+
+def export_csv(results: Sequence[RunResult], path: str) -> None:
+    """Write one CSV row per run: params, seed, then every metric column."""
+    rows = [r.row() for r in results]
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def load_csv(path: str) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`export_csv` back as a list of dicts."""
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        return list(csv.DictReader(fh))

@@ -1,4 +1,19 @@
-"""Run scenarios and parameter sweeps."""
+"""In-process scenario execution.
+
+:func:`run_scenario` builds, runs and measures a single scenario with
+full access to the live objects (``before_run`` / ``during_run`` hooks,
+the scenario itself on the result).  It is the executor the parallel
+orchestrator (:mod:`repro.experiments.orchestrator`) invokes inside each
+worker; use it directly when an experiment needs imperative control --
+for grids of runs, declare a
+:class:`~repro.experiments.orchestrator.SweepSpec` and call
+:func:`~repro.experiments.orchestrator.run_sweep` instead.
+
+:func:`sweep` is the small in-process convenience wrapper for a
+single-axis sweep where the caller wants the live scenario of every run;
+it shares the orchestrator's grid expansion (and therefore its ordering
+and seeding rules) but never leaves the current process.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +21,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.experiments.orchestrator import SweepSpec, expand_spec
 from repro.experiments.scenarios import BuiltScenario, ScenarioConfig, build_scenario
 from repro.metrics.collectors import MetricsReport, collect_metrics, format_table
 
@@ -66,17 +82,32 @@ def sweep(
     extra_overrides: Optional[Dict[str, Any]] = None,
     mobility_factory=None,
 ) -> List[ExperimentResult]:
-    """Run the base scenario once per value of ``parameter``.
+    """Run the base scenario once per value of ``parameter``, in-process.
 
     ``parameter`` must be a field of :class:`ScenarioConfig`; the swept
     value is also attached to each result row under the parameter name.
+    The value grid is expanded by the orchestrator (one axis, one seed),
+    so ordering and per-run seeding match a parallel
+    :func:`~repro.experiments.orchestrator.run_sweep` of the same grid;
+    unlike ``run_sweep``, every returned result keeps its live scenario.
     """
+    base = (
+        dataclasses.replace(base_config, **extra_overrides)
+        if extra_overrides
+        else base_config
+    )
+    spec = SweepSpec(
+        name="sweep",
+        base=base,
+        grid={parameter: list(values)},
+        seeds=(base.seed,),
+        duration=duration,
+    )
     results: List[ExperimentResult] = []
-    for value in values:
-        overrides = dict(extra_overrides or {})
-        overrides[parameter] = value
-        config = dataclasses.replace(base_config, **overrides)
-        result = run_scenario(config, duration=duration, mobility_factory=mobility_factory)
+    for run in expand_spec(spec):
+        result = run_scenario(
+            run.config, duration=run.duration, mobility_factory=mobility_factory
+        )
         results.append(result)
     return results
 

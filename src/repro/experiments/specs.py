@@ -1,0 +1,256 @@
+"""Named, declarative sweep specifications.
+
+Every experiment the repo ships -- the benchmark grids regenerating the
+paper's figures, the example scenarios, the smoke sweep -- is defined
+here as a :class:`~repro.experiments.orchestrator.SweepSpec` and
+registered under a stable name.  The ``python -m repro.experiments`` CLI,
+the ``benchmarks/bench_*.py`` files and the ``examples/`` scripts all
+pull their configuration from this registry, so a scenario grid is
+defined exactly once.
+
+Look specs up with :func:`get_spec`, enumerate them with
+:func:`available_specs`, add new ones with :func:`register_spec`::
+
+    from repro.experiments import get_spec, run_sweep
+
+    results = run_sweep(get_spec("e2_scalability"), workers=4)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.qos import QoSRequirement, qos_satisfaction_ratio
+from repro.experiments.orchestrator import SweepSpec, register_collector
+from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig
+
+SPECS: Dict[str, SweepSpec] = {}
+
+
+def register_spec(spec: SweepSpec) -> SweepSpec:
+    """Add ``spec`` to the registry (replacing any same-named spec)."""
+    SPECS[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> SweepSpec:
+    """Look up a registered spec by name."""
+    if name not in SPECS:
+        raise KeyError(f"unknown sweep {name!r}; known sweeps: {', '.join(sorted(SPECS))}")
+    return SPECS[name]
+
+
+def available_specs() -> List[SweepSpec]:
+    """All registered specs, sorted by name."""
+    return [SPECS[name] for name in sorted(SPECS)]
+
+
+# ---------------------------------------------------------------------------
+# Collectors (run inside the worker, with access to the live scenario)
+# ---------------------------------------------------------------------------
+
+#: end-to-end delay bound used by the QoS experiments (paper Section 4.1)
+QOS_DELAY_BOUND = QoSRequirement(max_delay=0.25)
+
+
+@register_collector("qos_satisfaction_250ms")
+def _qos_satisfaction(result) -> Dict[str, float]:
+    """Fraction of deliveries meeting the 250 ms bound (experiment E7)."""
+    network = result.scenario.network
+    delays = [d for record in network.deliveries.values() for d in record.delays()]
+    return {"qos_satisfaction": qos_satisfaction_ratio(delays, QOS_DELAY_BOUND)}
+
+
+# ---------------------------------------------------------------------------
+# Smoke / example sweeps
+# ---------------------------------------------------------------------------
+
+register_spec(
+    SweepSpec(
+        name="smoke",
+        description="Tiny 2-axis sweep (seconds to run); exercises the whole "
+        "orchestrator path: grid expansion, workers, cache, export.",
+        base=ScenarioConfig(
+            protocol="flooding",
+            area_size=700.0,
+            radio_range=250.0,
+            max_speed=2.0,
+            traffic_start=5.0,
+            traffic_interval=2.0,
+        ),
+        grid={"n_nodes": [15, 25], "group_size": [4, 6]},
+        seeds=(1, 2, 3),
+        duration=20.0,
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="quickstart",
+        description="The quickstart scenario: HVDB on a 100-node random-waypoint "
+        "MANET, one multicast group (examples/quickstart.py).",
+        base=ScenarioConfig(
+            protocol="hvdb",
+            n_nodes=100,
+            area_size=1500.0,
+            radio_range=250.0,
+            max_speed=5.0,
+            n_groups=1,
+            group_size=10,
+            traffic_interval=1.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+        ),
+        grid={},
+        seeds=(7,),
+        duration=120.0,
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="protocol_comparison",
+        description="HVDB vs. flooding, SGM, DSM and SPBM on one 100-node "
+        "workload (examples/protocol_comparison.py).",
+        base=ScenarioConfig(
+            n_nodes=100,
+            area_size=1500.0,
+            radio_range=250.0,
+            max_speed=4.0,
+            n_groups=1,
+            group_size=12,
+            traffic_interval=1.0,
+            traffic_start=30.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+            dsm_position_period=15.0,
+        ),
+        grid={"protocol": list(PROTOCOLS)},
+        seeds=(31,),
+        duration=120.0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark grids (the paper's evaluation figures)
+# ---------------------------------------------------------------------------
+
+#: constant-density scaling used by E2: m^2 of area per node
+E2_AREA_PER_NODE = 150.0 * 150.0
+
+
+def _e2_axis(n_nodes: int) -> Dict[str, float]:
+    """Couple the area to the node count so density stays constant."""
+    return {
+        "n_nodes": n_nodes,
+        "area_size": math.sqrt(n_nodes * E2_AREA_PER_NODE),
+        "group_size": max(8, n_nodes // 10),
+    }
+
+
+register_spec(
+    SweepSpec(
+        name="e2_scalability",
+        description="E2: delivery ratio and per-packet cost vs. network size "
+        "at constant density (HVDB / flooding / SGM).",
+        base=ScenarioConfig(
+            radio_range=250.0,
+            max_speed=4.0,
+            traffic_interval=1.0,
+            traffic_start=30.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+        ),
+        grid={
+            "n_nodes": [_e2_axis(n) for n in (60, 120, 200)],
+            "protocol": ["hvdb", "flooding", "sgm"],
+        },
+        seeds=(7,),
+        duration=90.0,
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="e3_membership_overhead",
+        description="E3: control overhead of summary-based membership vs. DSM "
+        "and SPBM, as a function of network size and group count.",
+        base=ScenarioConfig(
+            area_size=1500.0,
+            radio_range=250.0,
+            max_speed=3.0,
+            group_size=8,
+            traffic_interval=2.0,
+            traffic_start=40.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+            dsm_position_period=15.0,
+        ),
+        grid={
+            "n_nodes": [60, 120],
+            "n_groups": [1, 4],
+            "protocol": ["hvdb", "spbm", "dsm"],
+        },
+        seeds=(13,),
+        duration=80.0,
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="e6_mobility",
+        description="E6: delivery and cluster-head churn vs. maximum node "
+        "speed (random waypoint), HVDB vs. flooding.",
+        base=ScenarioConfig(
+            n_nodes=100,
+            area_size=1400.0,
+            radio_range=250.0,
+            pause_time=2.0,
+            group_size=10,
+            traffic_interval=1.0,
+            traffic_start=30.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+        ),
+        grid={
+            "protocol": ["hvdb", "flooding"],
+            "max_speed": [0.0, 5.0, 10.0, 20.0],
+        },
+        seeds=(37,),
+        duration=90.0,
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="e7_qos_load",
+        description="E7: fraction of deliveries meeting a 250 ms delay bound "
+        "as the number of concurrent CBR sessions grows.",
+        base=ScenarioConfig(
+            protocol="hvdb",
+            n_nodes=100,
+            area_size=1400.0,
+            radio_range=250.0,
+            max_speed=3.0,
+            n_groups=1,
+            group_size=10,
+            traffic_interval=0.5,
+            traffic_start=30.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+            qos_requirements={1: QOS_DELAY_BOUND},
+        ),
+        grid={"sources_per_group": [1, 3, 6, 10]},
+        seeds=(41,),
+        duration=90.0,
+        collector="qos_satisfaction_250ms",
+    )
+)

@@ -9,7 +9,12 @@
 * :mod:`repro.metrics.availability` -- windowed delivery ratio, service
   availability during failures and recovery time.
 * :mod:`repro.metrics.collectors` -- :class:`MetricsReport`, a single
-  structure experiments fill and benchmark tables print.
+  structure experiments fill and benchmark tables print; its
+  ``flat_row()`` is the scalar form orchestrator workers ship across
+  process boundaries.
+* :mod:`repro.metrics.visualization` -- ASCII renderings (VC grid,
+  hypercube occupancy, bar charts, sparklines, delivery timelines) for
+  terminal-friendly experiment output.
 """
 
 from repro.metrics.delivery import DeliveryMetrics, compute_delivery_metrics

@@ -37,6 +37,57 @@ class MetricsReport:
         row.update({k: round(v, 4) if isinstance(v, float) else v for k, v in self.extras.items()})
         return row
 
+    def flat_row(self) -> dict:
+        """Exhaustive flat dictionary of every figure in the report.
+
+        Unlike :meth:`as_row` (curated columns for table printing), this
+        includes the raw counters, the full delay distribution, the
+        backbone load-balance view (``backbone_``-prefixed) and the
+        protocol counters -- everything a detached worker process needs to
+        report so the orchestrator never has to ship a scenario object
+        across a process boundary.  All values are plain scalars, so the
+        result is picklable and JSON-serialisable.
+        """
+        row = {
+            "protocol": self.protocol,
+            "nodes": self.node_count,
+            "duration": self.duration,
+            "packets_originated": self.delivery.packets_originated,
+            "intended_deliveries": self.delivery.intended_deliveries,
+            "achieved_deliveries": self.delivery.achieved_deliveries,
+            "pdr": self.delivery.delivery_ratio,
+            "mean_delay": self.delivery.mean_delay,
+            "median_delay": self.delivery.median_delay,
+            "p95_delay": self.delivery.p95_delay,
+            "max_delay": self.delivery.max_delay,
+            "ctrl_pkts": self.overhead.control_packets,
+            "ctrl_bytes": self.overhead.control_bytes,
+            "data_pkts": self.overhead.data_packets,
+            "data_bytes": self.overhead.data_bytes,
+            "total_tx": self.overhead.total_transmissions,
+            "ctrl_per_delivery": self.overhead.control_per_delivered,
+            "tx_per_delivery": self.overhead.transmissions_per_delivered,
+            "ctrl_bytes_per_node_per_s": self.overhead.control_bytes_per_node_per_second,
+            "jain": self.load_balance.jain,
+            "cov": self.load_balance.cov,
+            "peak_to_mean": self.load_balance.peak_to_mean_ratio,
+            "max_load": self.load_balance.max_load,
+        }
+        if self.backbone_load_balance is not None:
+            backbone = self.backbone_load_balance
+            row.update(
+                {
+                    "backbone_nodes": backbone.node_count,
+                    "backbone_jain": backbone.jain,
+                    "backbone_cov": backbone.cov,
+                    "backbone_peak_to_mean": backbone.peak_to_mean_ratio,
+                    "backbone_max_load": backbone.max_load,
+                }
+            )
+        row.update(self.protocol_stats)
+        row.update(self.extras)
+        return row
+
 
 def collect_metrics(
     network: Network,
