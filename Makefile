@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench docs-check sweeps check
+.PHONY: test bench-smoke bench docs-check sweeps check ci
 
 ## tier-1 test suite (fast, deterministic) -- must stay green
 test:
@@ -31,3 +31,32 @@ sweeps:
 
 ## everything a PR must keep green
 check: test bench-smoke docs-check
+
+## reproduce the CI pipeline (.github/workflows/ci.yml) locally:
+## tier-1 tests, docs consistency, the smoke sweep split across three
+## share-nothing shards, a merge that must reassemble the full grid,
+## and a wall-time diff against the committed baseline (loose tolerance
+## across machines) plus a strict gate on a synthetic 2x regression
+CI_DIR := .ci
+ci: test docs-check
+	rm -rf $(CI_DIR)
+	for i in 1 2 3; do \
+	  $(PYTHON) -m repro.experiments run smoke --shard $$i/3 \
+	    --cache-dir $(CI_DIR)/shard$$i --format none || exit 1; \
+	done
+	$(PYTHON) -m repro.experiments merge smoke --cache-dir $(CI_DIR)/merged \
+	  --from $(CI_DIR)/shard1 --from $(CI_DIR)/shard2 --from $(CI_DIR)/shard3 \
+	  --out $(CI_DIR)/artifacts
+	$(PYTHON) -m repro.experiments perf smoke \
+	  --baseline benchmarks/baselines/BENCH_smoke.json \
+	  --current $(CI_DIR)/artifacts/smoke.json \
+	  --tolerance 10 --report $(CI_DIR)/perf-report.json
+	$(PYTHON) -c "import json; doc = json.load(open('$(CI_DIR)/artifacts/smoke.json')); \
+	  [r.__setitem__('wall_time', r['wall_time'] * 2.0) for r in doc['results']]; \
+	  json.dump(doc, open('$(CI_DIR)/artifacts/smoke-2x.json', 'w'))"
+	$(PYTHON) -m repro.experiments perf smoke \
+	  --baseline $(CI_DIR)/artifacts/smoke.json \
+	  --current $(CI_DIR)/artifacts/smoke-2x.json --tolerance 0.5; \
+	  status=$$?; if [ $$status -ne 1 ]; then \
+	    echo "perf gate: expected exit 1 (regression) on the synthetic 2x slowdown, got $$status"; exit 1; fi
+	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf)"

@@ -5,58 +5,33 @@ means fewer, larger hypercubes (a shallower mesh tier but longer
 hypercube-tier routes and bigger per-cube summary fan-out); smaller k means
 more mesh nodes.  The ablation keeps the physical network fixed and varies
 only the logical dimension.
+
+The scenario grid is the registered sweep ``a1_dimension``; the
+``possible_hypercubes`` column comes from the sweep's collector (it needs
+the live HVDB model, so it runs inside the worker -- see
+``repro.experiments.specs``).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-
-from common import print_table
-
-#: dimension -> VC grid that tiles into whole blocks of that dimension
-GRIDS = {2: (8, 8), 3: (8, 8), 4: (8, 8), 6: (8, 8)}
-DURATION = 90.0
-
-
-def config_for(dimension: int) -> ScenarioConfig:
-    cols, rows = GRIDS[dimension]
-    return ScenarioConfig(
-        protocol="hvdb",
-        n_nodes=110,
-        area_size=1500.0,
-        radio_range=250.0,
-        max_speed=3.0,
-        group_size=12,
-        traffic_interval=1.0,
-        traffic_start=30.0,
-        vc_cols=cols,
-        vc_rows=rows,
-        dimension=dimension,
-        seed=47,
-    )
+from common import print_table, run_spec
 
 
 def run_a1() -> List[Dict]:
     rows: List[Dict] = []
-    for dimension in sorted(GRIDS):
-        result = run_scenario(config_for(dimension), duration=DURATION)
-        stack = result.scenario.stack
-        summary = stack.model.backbone_summary()
-        delivery = result.report.delivery
-        stats = result.report.protocol_stats
+    for result in run_spec("a1_dimension"):
+        metrics = result.metrics
         rows.append(
             {
-                "dimension_k": dimension,
-                "hypercubes": int(summary["possible_hypercubes"]),
-                "pdr": round(delivery.delivery_ratio, 3),
-                "delay_ms": round(delivery.mean_delay * 1000, 1),
-                "ctrl_pkts": result.report.overhead.control_packets,
-                "mesh_forwards": stats["data_forwarded_mesh"],
-                "cube_forwards": stats["data_forwarded_cube"],
+                "dimension_k": result.params["dimension"],
+                "hypercubes": int(metrics["possible_hypercubes"]),
+                "pdr": round(metrics["pdr"], 3),
+                "delay_ms": round(metrics["mean_delay"] * 1000, 1),
+                "ctrl_pkts": metrics["ctrl_pkts"],
+                "mesh_forwards": metrics["data_forwarded_mesh"],
+                "cube_forwards": metrics["data_forwarded_cube"],
             }
         )
     return rows

@@ -4,71 +4,31 @@ Varies the route-beacon / summary periods (Figure 4 / Figure 5 timers) and
 the local-route horizon ``k`` to expose the freshness-vs-overhead
 trade-off: faster timers cost more control transmissions but track CH
 churn better.
+
+The scenario grid is the registered sweep ``a2_maintenance``: a label
+axis couples each variant name to its ``HVDBParameters`` so the swept
+parameter stays a readable string -- see ``repro.experiments.specs``
+(``A2_VARIANTS``).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
-from repro.core.protocol import HVDBParameters
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-
-from common import print_table
-
-DURATION = 90.0
-
-VARIANTS = {
-    "fast (1.5x rate)": HVDBParameters(
-        local_membership_period=2.0,
-        mnt_summary_period=4.0,
-        ht_summary_period=8.0,
-        route_beacon_period=2.0,
-    ),
-    "default": HVDBParameters(),
-    "slow (0.5x rate)": HVDBParameters(
-        local_membership_period=6.0,
-        mnt_summary_period=12.0,
-        ht_summary_period=24.0,
-        route_beacon_period=6.0,
-    ),
-    "k=2 horizon": HVDBParameters(max_logical_hops=2),
-    "k=6 horizon": HVDBParameters(max_logical_hops=6),
-}
-
-
-def config_for(params: HVDBParameters) -> ScenarioConfig:
-    return ScenarioConfig(
-        protocol="hvdb",
-        n_nodes=100,
-        area_size=1400.0,
-        radio_range=250.0,
-        max_speed=4.0,
-        group_size=10,
-        traffic_interval=1.0,
-        traffic_start=30.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        hvdb_params=params,
-        seed=53,
-    )
+from common import print_table, run_spec
 
 
 def run_a2() -> List[Dict]:
     rows: List[Dict] = []
-    for name, params in VARIANTS.items():
-        result = run_scenario(config_for(params), duration=DURATION)
-        delivery = result.report.delivery
-        overhead = result.report.overhead
+    for result in run_spec("a2_maintenance"):
+        metrics = result.metrics
         rows.append(
             {
-                "variant": name,
-                "pdr": round(delivery.delivery_ratio, 3),
-                "delay_ms": round(delivery.mean_delay * 1000, 1),
-                "ctrl_pkts": overhead.control_packets,
-                "ctrl_B_per_node_s": round(overhead.control_bytes_per_node_per_second, 1),
+                "variant": result.params["variant"],
+                "pdr": round(metrics["pdr"], 3),
+                "delay_ms": round(metrics["mean_delay"] * 1000, 1),
+                "ctrl_pkts": metrics["ctrl_pkts"],
+                "ctrl_B_per_node_s": round(metrics["ctrl_bytes_per_node_per_s"], 1),
             }
         )
     return rows

@@ -6,86 +6,39 @@ degraded" (Section 5).  The experiment destroys an increasing fraction of
 the cluster heads halfway through a session and reports delivery before /
 during / after the failure, the availability ratio and the recovery time,
 for HVDB and for flooding (the resilience upper bound).
+
+The scenario grid is the registered sweep ``e5_availability``: the
+mid-run failure is a registered ``during_run`` hook swept as a grid axis,
+and the before/during/after windows come from the sweep's collector
+(which needs the live delivery ledger, so it runs inside the worker --
+see ``repro.experiments.specs``).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-from repro.metrics.availability import compute_availability
-
-from common import print_table
-
-DURATION = 120.0
-FAIL_FRACTIONS = [0.1, 0.2, 0.4]
-PROTOCOLS = ["hvdb", "flooding"]
-
-
-def base_config(protocol: str) -> ScenarioConfig:
-    return ScenarioConfig(
-        protocol=protocol,
-        n_nodes=110,
-        area_size=1500.0,
-        radio_range=270.0,
-        max_speed=2.0,
-        group_size=12,
-        traffic_interval=0.5,
-        traffic_start=25.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        seed=29,
-    )
-
-
-def make_failure_hook(fraction: float):
-    def hook(scenario):
-        if scenario.stack is not None:
-            pool = scenario.stack.model.cluster_heads()
-        else:
-            pool = sorted(scenario.network.nodes.keys())
-        count = max(1, int(fraction * len(pool)))
-        victims = pool[:: max(1, len(pool) // count)][:count]
-        scenario.network.fail_nodes(victims)
-
-    return hook
+from common import hook_suffix, print_table, run_spec
 
 
 def run_e5() -> List[Dict]:
     rows: List[Dict] = []
-    for protocol in PROTOCOLS:
-        for fraction in FAIL_FRACTIONS:
-            result = run_scenario(
-                base_config(protocol),
-                duration=DURATION,
-                during_run=make_failure_hook(fraction),
-            )
-            availability = compute_availability(
-                result.scenario.network,
-                failure_time=DURATION / 2.0,
-                failure_duration=20.0,
-                window=10.0,
-            )
-            stats = result.report.protocol_stats
-            rows.append(
-                {
-                    "protocol": protocol,
-                    "failed_CH_%": round(fraction * 100),
-                    "pdr_before": round(availability.pre_failure_ratio, 3),
-                    "pdr_during": round(availability.during_failure_ratio, 3),
-                    "pdr_after": round(availability.post_failure_ratio, 3),
-                    "availability": round(availability.availability, 3),
-                    "recovery_s": (
-                        round(availability.recovery_time, 1)
-                        if availability.recovery_time != float("inf")
-                        else "never"
-                    ),
-                    "failovers": stats.get("failovers", 0),
-                }
-            )
+    for result in run_spec("e5_availability"):
+        metrics = result.metrics
+        rows.append(
+            {
+                "protocol": result.params["protocol"],
+                "failed_CH_%": int(hook_suffix(result.params["during_run"])),
+                "pdr_before": round(metrics["pdr_before"], 3),
+                "pdr_during": round(metrics["pdr_during"], 3),
+                "pdr_after": round(metrics["pdr_after"], 3),
+                "availability": round(metrics["availability"], 3),
+                "recovery_s": (
+                    round(metrics["recovery_s"], 1) if metrics["recovered"] else "never"
+                ),
+                "failovers": metrics.get("failovers", 0),
+            }
+        )
     return rows
 
 

@@ -4,66 +4,32 @@ Members join and leave the multicast group during the run; the experiment
 measures how delivery tracks the changing membership and how much
 membership control traffic each churn rate costs, plus a comparison of the
 designated-broadcaster criteria of Section 4.2.
+
+The scenario grids are the registered sweeps ``e8_churn`` (churn rate
+swept as a registered ``before_run`` hook axis, membership-change counts
+from the sweep's collector) and ``e8_criteria`` (a label axis coupling
+each criterion to its ``HVDBParameters``) -- see
+``repro.experiments.specs``.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
-from repro.core.membership import BroadcasterCriterion
-from repro.core.protocol import HVDBParameters
-from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import ScenarioConfig
-
-from common import print_table
-
-CHURN_RATES = [0.0, 0.05, 0.2]      # membership changes per second
-DURATION = 100.0
-
-
-def base_config(criterion: BroadcasterCriterion = BroadcasterCriterion.NEIGHBORHOOD_MEMBERS) -> ScenarioConfig:
-    return ScenarioConfig(
-        protocol="hvdb",
-        n_nodes=90,
-        area_size=1400.0,
-        radio_range=260.0,
-        max_speed=2.0,
-        group_size=10,
-        traffic_interval=1.0,
-        traffic_start=30.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        hvdb_params=HVDBParameters(broadcaster_criterion=criterion),
-        seed=43,
-    )
-
-
-def churn_hook(rate: float):
-    def hook(scenario):
-        if rate > 0:
-            scenario.groups.start_churn(1, rate=rate, min_members=3)
-
-    return hook
+from common import hook_suffix, print_table, run_spec
 
 
 def run_e8_churn() -> List[Dict]:
     rows: List[Dict] = []
-    for rate in CHURN_RATES:
-        result = run_scenario(
-            base_config(), duration=DURATION, before_run=churn_hook(rate)
-        )
-        delivery = result.report.delivery
-        overhead = result.report.overhead
-        changes = len(result.scenario.groups.history) - 10   # initial joins excluded
+    for result in run_spec("e8_churn"):
+        metrics = result.metrics
         rows.append(
             {
-                "churn_per_s": rate,
-                "membership_changes": max(0, changes),
-                "pdr": round(delivery.delivery_ratio, 3),
-                "ctrl_pkts": overhead.control_packets,
-                "ht_broadcasts": result.report.protocol_stats["ht_summaries_broadcast"],
+                "churn_per_s": hook_suffix(result.params["before_run"]),
+                "membership_changes": metrics["membership_changes"],
+                "pdr": round(metrics["pdr"], 3),
+                "ctrl_pkts": metrics["ctrl_pkts"],
+                "ht_broadcasts": metrics["ht_summaries_broadcast"],
             }
         )
     return rows
@@ -71,16 +37,14 @@ def run_e8_churn() -> List[Dict]:
 
 def run_e8_criteria() -> List[Dict]:
     rows: List[Dict] = []
-    for criterion in BroadcasterCriterion:
-        result = run_scenario(
-            base_config(criterion), duration=DURATION, before_run=churn_hook(0.1)
-        )
+    for result in run_spec("e8_criteria"):
+        metrics = result.metrics
         rows.append(
             {
-                "criterion": criterion.value,
-                "pdr": round(result.report.delivery.delivery_ratio, 3),
-                "ht_broadcasts": result.report.protocol_stats["ht_summaries_broadcast"],
-                "ctrl_pkts": result.report.overhead.control_packets,
+                "criterion": result.params["criterion"],
+                "pdr": round(metrics["pdr"], 3),
+                "ht_broadcasts": metrics["ht_summaries_broadcast"],
+                "ctrl_pkts": metrics["ctrl_pkts"],
             }
         )
     return rows

@@ -13,6 +13,12 @@ orchestrator via :func:`run_spec`.  Environment knobs:
 * ``REPRO_BENCH_CACHE`` -- cache directory; unset runs uncached so
   benchmark timings stay honest;
 * ``REPRO_BENCH_PROGRESS=1`` -- per-run progress lines on stderr.
+
+To split a grid across CI jobs, prime the cache through the CLI
+(``python -m repro.experiments run NAME --shard i/n --cache-dir DIR``,
+then ``merge``) and run the benchmark with ``REPRO_BENCH_CACHE=DIR`` --
+the benchmark assertions need the *full* grid, so sharding never happens
+inside ``run_spec`` itself.
 """
 
 from __future__ import annotations
@@ -39,6 +45,16 @@ def print_table(rows: Iterable[Dict], title: str) -> str:
 def pct(value: float) -> float:
     """Round a ratio to a percentage with one decimal."""
     return round(value * 100.0, 1)
+
+
+def hook_suffix(name: str) -> float:
+    """Numeric suffix of a registered hook name.
+
+    The converted grids sweep hooks by name (``fail_cluster_heads_20``,
+    ``group_churn_0.05``); the benchmark tables recover the swept number
+    from the name's last ``_``-separated component.
+    """
+    return float(name.rsplit("_", 1)[1])
 
 
 def run_spec(name: str) -> List[RunResult]:

@@ -12,9 +12,14 @@
   aggregated into :class:`RunResult` records with CSV/JSON export and
   mean +/- 95% CI summaries.
 * :mod:`repro.experiments.specs` -- the registry of named sweeps (the
-  benchmark grids E2/E3/E6/E7, the example scenarios, a smoke sweep).
+  benchmark grids E2/E3/E5/E6/E7/E8/A1/A2, the example scenarios, a
+  smoke sweep) plus their registered hooks and collectors.
+* :mod:`repro.experiments.perf` -- wall-time perf-regression tracking:
+  compare the per-run wall times of two result sets (cache directories,
+  exported artifacts, or cache generations) point by point.
 * ``python -m repro.experiments`` -- CLI over the registry:
-  ``list`` / ``run`` / ``resume`` / ``export``.
+  ``list`` / ``run`` / ``resume`` / ``export`` / ``merge`` / ``perf``,
+  with ``--shard I/N`` splitting a grid across share-nothing CI jobs.
 
 Minimal single run::
 
@@ -48,12 +53,18 @@ from repro.experiments.runner import run_scenario, sweep, ExperimentResult, resu
 from repro.experiments.orchestrator import (
     SweepSpec,
     SweepError,
+    SpecError,
     RunSpec,
     RunResult,
     ResultCache,
     expand_spec,
     run_sweep,
     execute_run,
+    parse_shard,
+    shard_runs,
+    merge_caches,
+    validate_hooks,
+    load_cached_results,
     summarize,
     mean_ci95,
     export_csv,
@@ -63,6 +74,14 @@ from repro.experiments.orchestrator import (
     register_collector,
     register_mobility,
     register_hook,
+)
+from repro.experiments.perf import (
+    PerfReport,
+    PointComparison,
+    compare_wall_times,
+    load_results,
+    mann_whitney_p,
+    wall_time_groups,
 )
 from repro.experiments.specs import (
     SPECS,
@@ -82,12 +101,24 @@ __all__ = [
     "results_table",
     "SweepSpec",
     "SweepError",
+    "SpecError",
     "RunSpec",
     "RunResult",
     "ResultCache",
     "expand_spec",
     "run_sweep",
     "execute_run",
+    "parse_shard",
+    "shard_runs",
+    "merge_caches",
+    "validate_hooks",
+    "load_cached_results",
+    "PerfReport",
+    "PointComparison",
+    "compare_wall_times",
+    "load_results",
+    "mann_whitney_p",
+    "wall_time_groups",
     "summarize",
     "mean_ci95",
     "export_csv",

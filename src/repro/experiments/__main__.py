@@ -3,9 +3,11 @@
 ::
 
     python -m repro.experiments list
-    python -m repro.experiments run SWEEP [--workers N] [--seeds 1,2,3] ...
+    python -m repro.experiments run SWEEP [--workers N] [--shard 2/3] ...
     python -m repro.experiments resume SWEEP [...]
     python -m repro.experiments export SWEEP --out DIR [...]
+    python -m repro.experiments merge SWEEP --cache-dir DEST --from DIR ...
+    python -m repro.experiments perf SWEEP --baseline PATH --current PATH
 
 ``run`` executes a registered sweep (see ``list``) on a pool of worker
 processes, caching finished runs under ``--cache-dir`` so an interrupted
@@ -14,25 +16,41 @@ or repeated invocation only executes what is missing; ``resume`` is
 cold cache (catching a mistyped ``--cache-dir``).  ``export`` rebuilds
 the CSV/JSON artifacts purely from cached results without running
 anything.
+
+``--shard I/N`` restricts ``run``/``resume`` to a deterministic 1-based
+slice of the grid, so N CI jobs sharing nothing but their cache
+directories cover the sweep exactly once; ``merge`` then folds the shard
+caches together and exports the full artifact set, and ``perf`` diffs
+the per-run wall times of two result sets (cache dirs, exported JSON
+artifacts, or cache generations) and exits non-zero on a regression.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.experiments.orchestrator import (
-    ResultCache,
     RunResult,
+    SpecError,
     SweepSpec,
-    expand_spec,
     export_csv,
     export_json,
+    load_cached_results,
+    merge_caches,
+    parse_shard,
     run_sweep,
     summarize,
+)
+from repro.experiments.perf import (
+    DEFAULT_TOLERANCE,
+    PerfReport,
+    compare_wall_times,
+    load_results,
 )
 from repro.experiments.specs import available_specs, get_spec
 from repro.metrics.collectors import format_table
@@ -102,9 +120,85 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="ignore cached results and re-run everything",
         )
+        p.add_argument(
+            "--shard",
+            default=None,
+            metavar="I/N",
+            help="execute only this 1-based shard of the grid (e.g. 2/3); "
+            "N jobs sharing a cache directory cover the sweep exactly once",
+        )
 
     p = sub.add_parser("export", help="write artifacts from cached results, running nothing")
     add_common(p)
+
+    p = sub.add_parser(
+        "merge",
+        help="fold shard caches into one cache directory and export the "
+        "merged artifacts (idempotent; fails if runs are still missing)",
+    )
+    add_common(p)
+    p.add_argument(
+        "--from",
+        dest="sources",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="shard cache directory to fold into --cache-dir (repeatable)",
+    )
+
+    p = sub.add_parser(
+        "perf",
+        help="diff per-run wall times of two result sets and exit non-zero "
+        "on a regression beyond the tolerance",
+    )
+    p.add_argument("sweep", help="registered sweep name (see `list`)")
+    p.add_argument(
+        "--baseline",
+        required=True,
+        help="reference wall times: a results JSON artifact or a cache directory",
+    )
+    p.add_argument(
+        "--current",
+        required=True,
+        help="candidate wall times: a results JSON artifact or a cache directory",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown of a grid point's median wall time "
+        f"before it counts as a regression (default: {DEFAULT_TOLERANCE})",
+    )
+    p.add_argument(
+        "--baseline-cache-version",
+        type=int,
+        default=None,
+        help="read the baseline cache directory at this CACHE_VERSION generation",
+    )
+    p.add_argument(
+        "--current-cache-version",
+        type=int,
+        default=None,
+        help="read the current cache directory at this CACHE_VERSION generation",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the comparison as a JSON report (for CI consumption)",
+    )
+    p.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated replication seeds overriding the spec's "
+        "(must match the seeds the caches were produced with)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds per run, overriding the spec's",
+    )
     return parser
 
 
@@ -125,15 +219,20 @@ def _customize(spec: SweepSpec, args: argparse.Namespace) -> SweepSpec:
 
 
 def _write_artifacts(
-    spec: SweepSpec, results: Sequence[RunResult], out_dir: str, fmt: str
+    spec: SweepSpec,
+    results: Sequence[RunResult],
+    out_dir: str,
+    fmt: str,
+    name: Optional[str] = None,
 ) -> List[str]:
+    stem = name or spec.name
     written: List[str] = []
     if fmt in ("csv", "both"):
-        path = os.path.join(out_dir, f"{spec.name}.csv")
+        path = os.path.join(out_dir, f"{stem}.csv")
         export_csv(results, path)
         written.append(path)
     if fmt in ("json", "both"):
-        path = os.path.join(out_dir, f"{spec.name}.json")
+        path = os.path.join(out_dir, f"{stem}.json")
         export_json(results, path, spec=spec)
         written.append(path)
     return written
@@ -181,15 +280,20 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
             file=sys.stderr,
         )
         return 2
+    shard = parse_shard(args.shard) if args.shard else None
     results = run_sweep(
         spec,
         workers=args.workers,
         cache_dir=cache_dir,
         force=args.force,
         progress=True,
+        shard=shard,
     )
     _print_summary(spec, results)
-    for path in _write_artifacts(spec, results, args.out, args.format):
+    # a shard writes suffixed artifacts so it never masquerades as the
+    # full result set; `merge`/`export` produce the unsuffixed ones
+    stem = f"{spec.name}.shard-{shard[0]}-of-{shard[1]}" if shard else spec.name
+    for path in _write_artifacts(spec, results, args.out, args.format, name=stem):
         print(f"wrote {path}")
     return 0
 
@@ -199,17 +303,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
     if not os.path.isdir(args.cache_dir):
         print(f"export: no cache directory at {args.cache_dir!r}", file=sys.stderr)
         return 2
-    cache = ResultCache(args.cache_dir)
-    results: List[RunResult] = []
-    missing = 0
-    for run in expand_spec(spec):
-        cached = cache.get(run.cache_key())
-        if cached is None:
-            missing += 1
-        else:
-            cached.run_id = run.run_id
-            cached.params = dict(run.params)
-            results.append(cached)
+    results, missing_ids = load_cached_results(spec, args.cache_dir)
+    missing = len(missing_ids)
     if not results:
         print(
             f"export: no cached results for sweep {spec.name!r} "
@@ -230,6 +325,108 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    spec = _customize(get_spec(args.sweep), args)
+    if args.sources:
+        copied, skipped = merge_caches(args.sources, args.cache_dir)
+        print(
+            f"merge: folded {len(args.sources)} shard cache(s) into "
+            f"{args.cache_dir}: {copied} new entries, {skipped} already present"
+        )
+    if not os.path.isdir(args.cache_dir):
+        print(
+            f"merge: no cache directory at {args.cache_dir!r} "
+            "(use --from to fold shard caches into it)",
+            file=sys.stderr,
+        )
+        return 2
+    results, missing = load_cached_results(spec, args.cache_dir)
+    if missing:
+        print(
+            f"merge: {len(missing)} of {spec.run_count} runs missing from the "
+            f"merged cache (first missing: {missing[0]}); run the remaining "
+            "shards (or check --seeds/--duration overrides) before merging",
+            file=sys.stderr,
+        )
+        return 1
+    _print_summary(spec, results)
+    for path in _write_artifacts(spec, results, args.out, args.format):
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    spec = _customize(get_spec(args.sweep), args)
+    for side, path in (("baseline", args.baseline), ("current", args.current)):
+        if not os.path.exists(path):
+            print(f"perf: {side} {path!r} does not exist", file=sys.stderr)
+            return 2
+    baseline = load_results(args.baseline, spec, cache_version=args.baseline_cache_version)
+    current = load_results(args.current, spec, cache_version=args.current_cache_version)
+    for side, results, path in (
+        ("baseline", baseline, args.baseline),
+        ("current", current, args.current),
+    ):
+        if not results:
+            print(
+                f"perf: {side} {path!r} holds no results for sweep "
+                f"{spec.name!r}",
+                file=sys.stderr,
+            )
+            return 2
+    report = compare_wall_times(
+        baseline, current, tolerance=args.tolerance, sweep=spec.name
+    )
+    _print_perf(report)
+    if args.report:
+        os.makedirs(os.path.dirname(args.report) or ".", exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.report}")
+    if report.regressed:
+        return 1
+    # grid points present in the baseline but absent from the current set
+    # mean the comparison is incomplete (partial merge, changed grid) --
+    # that must not pass a CI gate as "no regression".  Points only in
+    # the current set (missing-baseline) are informational: new grid
+    # points simply have no reference trajectory yet.
+    missing_current = [p for p in report.points if p.status == "missing-current"]
+    if missing_current:
+        print(
+            f"perf: {len(missing_current)} grid point(s) have no current "
+            f"results (first: {missing_current[0].point}); the comparison "
+            "is incomplete",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _print_perf(report: PerfReport) -> None:
+    rows = []
+    for point in report.points:
+        rows.append(
+            {
+                "grid_point": point.point,
+                "baseline_s": f"{point.baseline_median:g} (n={point.baseline_n})",
+                "current_s": f"{point.current_median:g} (n={point.current_n})",
+                "ratio": f"{point.ratio:g}" if point.ratio else "-",
+                "p": f"{point.p_value:g}" if point.p_value is not None else "-",
+                "status": point.status,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"{report.sweep}: wall-time comparison "
+            f"(tolerance {report.tolerance:g})",
+        )
+    )
+    counts = ", ".join(f"{n} {status}" for status, n in sorted(report.counts().items()))
+    verdict = "REGRESSED" if report.regressed else "ok"
+    print(f"perf: {verdict} ({counts or 'no grid points'})")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -241,7 +438,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args, require_cache=True)
         if args.command == "export":
             return _cmd_export(args)
-    except CliError as exc:
+        if args.command == "merge":
+            return _cmd_merge(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
+    except (CliError, SpecError) as exc:
         print(f"{args.command}: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:

@@ -58,10 +58,11 @@ import itertools
 import json
 import math
 import os
+import re
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.scenarios import ScenarioConfig
 
@@ -76,6 +77,16 @@ class SweepError(RuntimeError):
     Raised *after* every other run has been drained and recorded (and,
     with a cache directory, persisted), so a re-run of the same sweep
     resumes from the completed work instead of repeating it.
+    """
+
+
+class SpecError(ValueError):
+    """A sweep spec (or a shard selection over it) is invalid.
+
+    Raised eagerly at expansion time -- an empty grid axis, an empty seed
+    list, an axis that names no :class:`ScenarioConfig` field, or a shard
+    index outside ``1..count`` -- so a misconfigured sweep fails loudly
+    instead of silently executing zero runs.
     """
 
 # ---------------------------------------------------------------------------
@@ -177,7 +188,7 @@ class RunSpec:
     before_run: Optional[str] = None  #: registered hook, called before start
     during_run: Optional[str] = None  #: registered hook, called mid-run
 
-    def cache_key(self) -> str:
+    def cache_key(self, version: Optional[int] = None) -> str:
         """Content hash identifying this run's outcome.
 
         Covers every input that determines the result: the complete
@@ -185,10 +196,12 @@ class RunSpec:
         :data:`CACHE_VERSION` (bumped on behaviour-changing code edits).
         The sweep name and cosmetic run id are deliberately excluded, so
         identical runs reached through different sweeps share cache
-        entries.
+        entries.  ``version`` overrides :data:`CACHE_VERSION`, which lets
+        perf tracking address an older cache generation in the same
+        directory.
         """
         payload = {
-            "version": CACHE_VERSION,
+            "version": CACHE_VERSION if version is None else version,
             "config": _canonical(dataclasses.asdict(self.config)),
             "duration": self.duration,
             "collector": self.collector,
@@ -261,6 +274,16 @@ def _format_value(value: Any) -> str:
     return str(value)
 
 
+#: RunSpec slots a grid axis may sweep in addition to ScenarioConfig
+#: fields: the named-hook seams.  An axis named (or a dict value
+#: containing) one of these overrides the spec-level hook for that run.
+HOOK_AXES = ("collector", "mobility", "before_run", "during_run")
+
+
+def _config_field_names() -> frozenset:
+    return frozenset(f.name for f in dataclasses.fields(ScenarioConfig))
+
+
 def expand_spec(spec: SweepSpec) -> List[RunSpec]:
     """Cross product of every grid axis and every seed, in a stable order.
 
@@ -268,14 +291,71 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
     ``base.seed`` wholesale, and every stochastic component of a scenario
     derives its stream from that one value, so the same (spec, seed) pair
     always reproduces the same run.
+
+    An axis may name a :class:`ScenarioConfig` field, one of the
+    :data:`HOOK_AXES` (sweeping a registered hook by name), or -- with
+    dict values that include the axis name itself -- act as a pure label
+    whose remaining keys are the coupled field/hook overrides::
+
+        grid = {"variant": [{"variant": "fast", "hvdb_params": fast_params},
+                            {"variant": "slow", "hvdb_params": slow_params}]}
+
+    Label axes keep ``params`` (and therefore run ids, CSV columns and
+    :func:`summarize` grouping) scalar even when the coupled override is a
+    whole parameter object.  Empty axes, empty seed lists and unknown
+    axis/override names raise :class:`SpecError` instead of expanding to a
+    silent empty or broken grid.
     """
+    if not spec.seeds:
+        raise SpecError(
+            f"sweep {spec.name!r} has no replication seeds: the grid would "
+            "expand to zero runs (set seeds=(1,) for a single replication)"
+        )
     axes = list(spec.grid.keys())
-    value_lists = [list(spec.grid[a]) for a in axes]
+    value_lists = []
+    for axis in axes:
+        values = list(spec.grid[axis])
+        if not values:
+            raise SpecError(
+                f"axis {axis!r} of sweep {spec.name!r} has no values: the "
+                "cross product would expand to zero runs (drop the axis or "
+                "give it at least one value)"
+            )
+        value_lists.append(values)
+
+    config_fields = _config_field_names()
     runs: List[RunSpec] = []
     for combo in itertools.product(*value_lists) if axes else [()]:
         overrides: Dict[str, Any] = {}
+        hooks: Dict[str, Optional[str]] = {
+            name: getattr(spec, name) for name in HOOK_AXES
+        }
+        params: Dict[str, Any] = {}
         for axis, value in zip(axes, combo):
-            overrides.update(_axis_overrides(axis, value))
+            entry = _axis_overrides(axis, value)
+            if (
+                isinstance(value, dict)
+                and axis in entry
+                and axis not in config_fields
+                and axis not in HOOK_AXES
+            ):
+                # label axis: the axis name itself is the recorded swept
+                # parameter; the remaining keys are coupled overrides
+                params[axis] = entry.pop(axis)
+            else:
+                params.update(entry)
+            for key, override in entry.items():
+                if key in HOOK_AXES:
+                    hooks[key] = override
+                elif key in config_fields:
+                    overrides[key] = override
+                else:
+                    raise SpecError(
+                        f"sweep {spec.name!r}: axis/override key {key!r} is "
+                        f"neither a ScenarioConfig field nor a hook slot "
+                        f"{HOOK_AXES}; for a display-only axis use dict "
+                        "values that include the axis name itself"
+                    )
         # an explicit "seed" axis replaces the replication-seed loop, so
         # sweeping the seed itself (sweep(parameter="seed")) works without
         # colliding with spec.seeds
@@ -283,7 +363,6 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
         for run_seed in seed_values:
             merged = {k: v for k, v in overrides.items() if k != "seed"}
             config = dataclasses.replace(spec.base, seed=run_seed, **merged)
-            params = dict(overrides)
             label = ",".join(
                 f"{k}={_format_value(v)}" for k, v in sorted(params.items())
             ) or "base"
@@ -293,14 +372,146 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
                     config=config,
                     duration=spec.duration,
                     seed=run_seed,
-                    params=params,
-                    collector=spec.collector,
-                    mobility=spec.mobility,
-                    before_run=spec.before_run,
-                    during_run=spec.during_run,
+                    params=dict(params),
+                    collector=hooks["collector"],
+                    mobility=hooks["mobility"],
+                    before_run=hooks["before_run"],
+                    during_run=hooks["during_run"],
                 )
             )
     return runs
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``i/n`` shard selector into a validated ``(index, count)``.
+
+    ``index`` is 1-based: ``2/3`` is the second of three shards.
+    """
+    match = re.fullmatch(r"\s*(\d+)\s*/\s*(\d+)\s*", text)
+    if not match:
+        raise SpecError(f"shard must look like INDEX/COUNT (e.g. 2/3), got {text!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    _check_shard(index, count)
+    return index, count
+
+
+def _check_shard(index: int, count: int) -> None:
+    if count < 1:
+        raise SpecError(f"shard count must be >= 1, got {count}")
+    if not 1 <= index <= count:
+        raise SpecError(
+            f"shard index {index} out of range: must be between 1 and {count} "
+            "(shard indices are 1-based)"
+        )
+
+
+def shard_runs(runs: Sequence[RunSpec], index: int, count: int) -> List[RunSpec]:
+    """Deterministic 1-based shard ``index`` of ``count`` over ``runs``.
+
+    Partitioning is round-robin over the stable :func:`expand_spec` order
+    (run ``j`` lands in shard ``j % count + 1``), so adjacent heavy and
+    light grid points spread across shards, every run appears in exactly
+    one shard, and the shards' union is the full expansion.  ``count``
+    larger than ``len(runs)`` legitimately yields empty shards; an
+    ``index`` outside ``1..count`` raises :class:`SpecError`.
+    """
+    _check_shard(index, count)
+    return list(runs[index - 1 :: count])
+
+
+def validate_hooks(runs: Sequence[RunSpec]) -> None:
+    """Check every named hook of ``runs`` resolves, before anything executes.
+
+    A typo'd hook name would otherwise only surface as a per-run failure
+    inside a worker after the rest of the grid has burned its budget;
+    this turns it into an eager :class:`SpecError`.  Resolution uses the
+    same registries (and the same lazy specs import) as the workers.
+    """
+    problems = []
+    checked = set()
+    for run in runs:
+        for registry, kind, name in (
+            (_COLLECTORS, "collector", run.collector),
+            (_MOBILITY_FACTORIES, "mobility factory", run.mobility),
+            (_HOOKS, "hook", run.before_run),
+            (_HOOKS, "hook", run.during_run),
+        ):
+            if name is None or (kind, name) in checked:
+                continue
+            checked.add((kind, name))
+            try:
+                _resolve_registered(registry, name, kind)
+            except KeyError as exc:
+                problems.append(str(exc.args[0] if exc.args else exc))
+    if problems:
+        raise SpecError("; ".join(problems))
+
+
+def load_cached_results(
+    spec: SweepSpec,
+    cache_dir: str,
+    version: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Tuple[List["RunResult"], List[str]]:
+    """Rehydrate ``spec``'s runs from a cache directory, running nothing.
+
+    Returns the cached results in expansion order -- re-labelled with this
+    spec's run ids and params, since the cache is keyed by content only --
+    plus the run ids of every cache miss.  ``version`` addresses an older
+    :data:`CACHE_VERSION` generation; ``shard`` restricts the expansion
+    to one shard.
+    """
+    cache = ResultCache(cache_dir)
+    runs = expand_spec(spec)
+    if shard is not None:
+        runs = shard_runs(runs, *shard)
+    results: List[RunResult] = []
+    missing: List[str] = []
+    for run in runs:
+        cached = cache.get(run.cache_key(version=version))
+        if cached is None:
+            missing.append(run.run_id)
+        else:
+            cached.run_id = run.run_id
+            cached.params = dict(run.params)
+            results.append(cached)
+    return results, missing
+
+
+def merge_caches(sources: Sequence[str], dest: str) -> Tuple[int, int]:
+    """Fold shard cache directories into ``dest``; returns (copied, skipped).
+
+    Cache entries are named by content hash, so an entry already present
+    in ``dest`` is identical to the incoming one and is skipped -- merging
+    is idempotent and order-independent.  Copies are atomic (tmp file +
+    rename), so a crashed merge never leaves a truncated entry.
+    """
+    for src in sources:
+        if not os.path.isdir(src):
+            raise SpecError(f"shard cache directory {src!r} does not exist")
+    os.makedirs(dest, exist_ok=True)
+    copied = skipped = 0
+    for src in sources:
+        for name in sorted(os.listdir(src)):
+            if not name.endswith(".json"):
+                continue
+            target = os.path.join(dest, name)
+            if os.path.exists(target):
+                skipped += 1
+                continue
+            with open(os.path.join(src, name), "rb") as fh:
+                blob = fh.read()
+            tmp = target + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, target)
+            copied += 1
+    return copied, skipped
 
 
 # ---------------------------------------------------------------------------
@@ -435,6 +646,7 @@ def run_sweep(
     cache_dir: Optional[str] = None,
     force: bool = False,
     progress: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> List[RunResult]:
     """Execute every run of ``spec`` and return results in expansion order.
 
@@ -443,8 +655,19 @@ def run_sweep(
     only execute cache misses (``force=True`` re-runs everything and
     refreshes the cache).  Deterministic seeding makes this safe: a cached
     result is bit-identical to re-running the same spec and seed.
+
+    ``shard=(index, count)`` executes only that 1-based shard of the
+    expansion (see :func:`shard_runs`): ``count`` jobs sharing nothing but
+    ``cache_dir`` cover the grid exactly once, after which
+    :func:`merge_caches` (or any single job reading the shared cache)
+    reassembles the full result set.
     """
     runs = expand_spec(spec)
+    label = spec.name
+    if shard is not None:
+        runs = shard_runs(runs, *shard)
+        label = f"{spec.name} shard {shard[0]}/{shard[1]}"
+    validate_hooks(runs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
     results: Dict[int, RunResult] = {}
@@ -461,7 +684,7 @@ def run_sweep(
     hit_count = len(runs) - len(pending)
     _log(
         progress,
-        f"[{spec.name}] {len(runs)} runs: {hit_count} cache hits, "
+        f"[{label}] {len(runs)} runs: {hit_count} cache hits, "
         f"{len(pending)} to execute on {max(1, workers)} worker(s)",
     )
 
@@ -477,7 +700,7 @@ def run_sweep(
         pdr_note = f" pdr={pdr:.3f}" if isinstance(pdr, float) else ""
         _log(
             progress,
-            f"[{spec.name}] ({done}/{len(pending)}) {result.run_id}"
+            f"[{label}] ({done}/{len(pending)}) {result.run_id}"
             f"{pdr_note} ({result.wall_time:.1f}s)",
         )
 
@@ -491,7 +714,7 @@ def run_sweep(
                 record(index, execute_run(run))
             except Exception as exc:
                 failures.append((run.run_id, exc))
-                _log(progress, f"[{spec.name}] FAILED {run.run_id}: {exc!r}")
+                _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
     else:
         import concurrent.futures
         import multiprocessing
@@ -512,7 +735,7 @@ def run_sweep(
                     record(index, future.result())
                 except Exception as exc:
                     failures.append((run.run_id, exc))
-                    _log(progress, f"[{spec.name}] FAILED {run.run_id}: {exc!r}")
+                    _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
 
     if failures:
         completed = len(runs) - len(failures)
@@ -520,7 +743,7 @@ def run_sweep(
         if len(failures) > 5:
             detail += f"; ... {len(failures) - 5} more"
         raise SweepError(
-            f"{len(failures)} of {len(runs)} runs failed in sweep {spec.name!r} "
+            f"{len(failures)} of {len(runs)} runs failed in sweep {label!r} "
             f"({completed} completed"
             + (", cached -- a re-run resumes from them" if cache is not None else "")
             + f"): {detail}"
@@ -528,7 +751,7 @@ def run_sweep(
 
     _log(
         progress,
-        f"[{spec.name}] done: {hit_count} cached + {len(pending)} executed",
+        f"[{label}] done: {hit_count} cached + {len(pending)} executed",
     )
     return [results[i] for i in range(len(runs))]
 

@@ -1,0 +1,266 @@
+"""Wall-time perf regression tracking across cache generations.
+
+Every cached :class:`~repro.experiments.orchestrator.RunResult` records
+the ``wall_time`` its execution took, so two result sets of the same
+sweep -- two cache directories, two exported JSON artifacts, or two
+:data:`~repro.experiments.orchestrator.CACHE_VERSION` generations inside
+one directory -- carry enough information to spot a hot-path regression
+without any extra instrumentation.
+
+:func:`compare_wall_times` groups both sides by grid point (the swept
+``params`` minus the seed), compares per-point medians, and classifies
+each point:
+
+* ``regressed`` -- the current median exceeds the baseline median by more
+  than the tolerance fraction; when both sides have enough replications a
+  two-sided Mann-Whitney U test must also reject "same distribution", so
+  a single noisy seed cannot fail CI;
+* ``improved`` -- the symmetric speed-up case;
+* ``ok`` -- within tolerance;
+* ``missing-baseline`` / ``missing-current`` -- the point exists on only
+  one side (a grid change or an incomplete shard merge).
+
+The resulting :class:`PerfReport` serialises to JSON for CI consumption;
+the ``python -m repro.experiments perf`` subcommand exits non-zero when
+any point regressed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.orchestrator import (
+    RunResult,
+    SpecError,
+    SweepSpec,
+    _format_value,
+    load_cached_results,
+    load_json,
+)
+
+#: default allowed slowdown of a grid point's median wall time (fraction:
+#: 0.25 tolerates up to 25% before flagging)
+DEFAULT_TOLERANCE = 0.25
+
+#: significance level for the Mann-Whitney test (only applied when both
+#: sides have at least MIN_SAMPLES_FOR_TEST replications)
+DEFAULT_ALPHA = 0.05
+MIN_SAMPLES_FOR_TEST = 4
+
+
+def point_label(params: Mapping[str, Any]) -> str:
+    """Stable grid-point label: the swept params minus the seed."""
+    items = sorted(
+        ((k, v) for k, v in params.items() if k != "seed"), key=lambda kv: kv[0]
+    )
+    return ",".join(f"{k}={_format_value(v)}" for k, v in items) or "base"
+
+
+def wall_time_groups(results: Sequence[RunResult]) -> Dict[str, List[float]]:
+    """Group per-run wall times by grid point, in first-seen order."""
+    groups: Dict[str, List[float]] = {}
+    for result in results:
+        groups.setdefault(point_label(result.params), []).append(
+            float(result.wall_time)
+        )
+    return groups
+
+
+def mann_whitney_p(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sided Mann-Whitney U p-value (normal approximation, tie-averaged).
+
+    A deliberately simple stdlib-only implementation: exactness in the
+    far tail does not matter for a CI gate, distinguishing "overlapping
+    distributions" from "cleanly shifted" does.
+    """
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        return 1.0
+    pooled = sorted(
+        [(value, 0) for value in a] + [(value, 1) for value in b],
+        key=lambda pair: pair[0],
+    )
+    # average ranks over ties
+    ranks = [0.0] * len(pooled)
+    i = 0
+    while i < len(pooled):
+        j = i
+        while j + 1 < len(pooled) and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[k] = mean_rank
+        i = j + 1
+    rank_sum_a = sum(rank for rank, (_, side) in zip(ranks, pooled) if side == 0)
+    u_a = rank_sum_a - n1 * (n1 + 1) / 2.0
+    mean_u = n1 * n2 / 2.0
+    sigma = math.sqrt(n1 * n2 * (n1 + n2 + 1) / 12.0)
+    if sigma == 0.0:
+        return 1.0
+    # continuity correction toward the mean
+    z = (u_a - mean_u - math.copysign(0.5, u_a - mean_u)) / sigma if u_a != mean_u else 0.0
+    return max(0.0, min(1.0, 2.0 * (1.0 - _normal_cdf(abs(z)))))
+
+
+def _normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass
+class PointComparison:
+    """Wall-time verdict for one grid point."""
+
+    point: str
+    status: str                       #: ok | improved | regressed | missing-*
+    baseline_n: int = 0
+    current_n: int = 0
+    baseline_median: float = 0.0
+    current_median: float = 0.0
+    ratio: float = 0.0                #: current median / baseline median
+    p_value: Optional[float] = None   #: Mann-Whitney, when enough samples
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class PerfReport:
+    """The full comparison: one :class:`PointComparison` per grid point."""
+
+    sweep: str
+    tolerance: float
+    points: List[PointComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[PointComparison]:
+        return [p for p in self.points if p.status == "regressed"]
+
+    @property
+    def improvements(self) -> List[PointComparison]:
+        return [p for p in self.points if p.status == "improved"]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for point in self.points:
+            counts[point.status] = counts.get(point.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep,
+            "tolerance": self.tolerance,
+            "regressed": self.regressed,
+            "counts": self.counts(),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def compare_wall_times(
+    baseline: Sequence[RunResult],
+    current: Sequence[RunResult],
+    tolerance: float = DEFAULT_TOLERANCE,
+    alpha: float = DEFAULT_ALPHA,
+    sweep: str = "",
+) -> PerfReport:
+    """Compare two result sets of the same sweep point by point.
+
+    A point regresses when its current median wall time exceeds the
+    baseline median by more than ``tolerance`` (a fraction: 0.25 allows a
+    25% slowdown) *and* -- when both sides carry at least
+    :data:`MIN_SAMPLES_FOR_TEST` replications -- the Mann-Whitney test
+    rejects "same distribution" at ``alpha``.  With fewer replications
+    the threshold-ratio test decides alone.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    baseline_groups = wall_time_groups(baseline)
+    current_groups = wall_time_groups(current)
+    report = PerfReport(sweep=sweep, tolerance=tolerance)
+
+    seen = list(baseline_groups)
+    seen.extend(p for p in current_groups if p not in baseline_groups)
+    for point in seen:
+        base_times = baseline_groups.get(point)
+        cur_times = current_groups.get(point)
+        if base_times is None:
+            report.points.append(
+                PointComparison(
+                    point=point,
+                    status="missing-baseline",
+                    current_n=len(cur_times or ()),
+                    current_median=statistics.median(cur_times) if cur_times else 0.0,
+                )
+            )
+            continue
+        if cur_times is None:
+            report.points.append(
+                PointComparison(
+                    point=point,
+                    status="missing-current",
+                    baseline_n=len(base_times),
+                    baseline_median=statistics.median(base_times),
+                )
+            )
+            continue
+        base_median = statistics.median(base_times)
+        cur_median = statistics.median(cur_times)
+        ratio = cur_median / base_median if base_median > 0 else 1.0
+        p_value = None
+        if min(len(base_times), len(cur_times)) >= MIN_SAMPLES_FOR_TEST:
+            p_value = mann_whitney_p(base_times, cur_times)
+        status = "ok"
+        if ratio > 1.0 + tolerance and (p_value is None or p_value < alpha):
+            status = "regressed"
+        elif ratio < 1.0 / (1.0 + tolerance) and (p_value is None or p_value < alpha):
+            status = "improved"
+        report.points.append(
+            PointComparison(
+                point=point,
+                status=status,
+                baseline_n=len(base_times),
+                current_n=len(cur_times),
+                baseline_median=round(base_median, 6),
+                current_median=round(cur_median, 6),
+                ratio=round(ratio, 4),
+                p_value=round(p_value, 6) if p_value is not None else None,
+            )
+        )
+    return report
+
+
+def load_results(
+    path: str, spec: Optional[SweepSpec] = None, cache_version: Optional[int] = None
+) -> List[RunResult]:
+    """Load one side of a comparison from ``path``.
+
+    ``path`` may be a results JSON artifact (written by ``export`` /
+    ``merge`` / :func:`~repro.experiments.orchestrator.export_json`) or a
+    cache directory.  Reading a cache directory requires ``spec`` (the
+    directory is keyed by content hash, so the spec must be expanded to
+    know which entries belong to the sweep); ``cache_version`` addresses
+    an older :data:`~repro.experiments.orchestrator.CACHE_VERSION`
+    generation inside the same directory.
+    """
+    if os.path.isdir(path):
+        if spec is None:
+            raise SpecError(
+                f"{path!r} is a cache directory; loading wall times from a "
+                "cache requires the sweep spec to enumerate its entries"
+            )
+        results, _missing = load_cached_results(spec, path, version=cache_version)
+        return results
+    if cache_version is not None:
+        raise SpecError(
+            f"{path!r} is a results JSON artifact, not a cache directory; "
+            "a cache-version selector does not apply to it"
+        )
+    return load_json(path)

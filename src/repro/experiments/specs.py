@@ -21,9 +21,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
+from repro.core.membership import BroadcasterCriterion
+from repro.core.protocol import HVDBParameters
 from repro.core.qos import QoSRequirement, qos_satisfaction_ratio
-from repro.experiments.orchestrator import SweepSpec, register_collector
+from repro.experiments.orchestrator import SweepSpec, register_collector, register_hook
 from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig
+from repro.metrics.availability import compute_availability
 
 SPECS: Dict[str, SweepSpec] = {}
 
@@ -60,6 +63,104 @@ def _qos_satisfaction(result) -> Dict[str, float]:
     network = result.scenario.network
     delays = [d for record in network.deliveries.values() for d in record.delays()]
     return {"qos_satisfaction": qos_satisfaction_ratio(delays, QOS_DELAY_BOUND)}
+
+
+#: default run length of the availability experiment (the failure hook
+#: fires at the midpoint of whatever duration actually runs)
+E5_DURATION = 120.0
+
+#: fractions of the cluster-head population the E5 grid destroys mid-run
+E5_FAIL_FRACTIONS = (0.1, 0.2, 0.4)
+
+
+def _make_ch_failure_hook(fraction: float):
+    def fail_cluster_heads(scenario) -> None:
+        if scenario.stack is not None:
+            pool = scenario.stack.model.cluster_heads()
+        else:
+            pool = sorted(scenario.network.nodes.keys())
+        count = max(1, int(fraction * len(pool)))
+        victims = pool[:: max(1, len(pool) // count)][:count]
+        scenario.network.fail_nodes(victims)
+
+    return fail_cluster_heads
+
+
+def e5_failure_hook_name(fraction: float) -> str:
+    """Registered ``during_run`` hook killing ``fraction`` of the CHs."""
+    return f"fail_cluster_heads_{int(round(fraction * 100))}"
+
+
+for _fraction in E5_FAIL_FRACTIONS:
+    register_hook(e5_failure_hook_name(_fraction))(_make_ch_failure_hook(_fraction))
+
+
+@register_collector("availability_mid_run_failure")
+def _availability(result) -> Dict[str, float]:
+    """Delivery before/during/after the mid-run failure (experiment E5).
+
+    Needs the live delivery ledger, so it runs inside the worker.  The
+    windows anchor on the *actual* run duration (``during_run`` hooks
+    fire at its midpoint), so ``--duration`` overrides stay correct.  A
+    never-recovered run reports ``recovered=0`` with ``recovery_s=-1``
+    (keeping every metric a finite scalar for JSON/CSV artifacts).
+    """
+    availability = compute_availability(
+        result.scenario.network,
+        failure_time=result.report.duration / 2.0,
+        failure_duration=20.0,
+        window=10.0,
+    )
+    recovered = math.isfinite(availability.recovery_time)
+    return {
+        "pdr_before": availability.pre_failure_ratio,
+        "pdr_during": availability.during_failure_ratio,
+        "pdr_after": availability.post_failure_ratio,
+        "availability": availability.availability,
+        "recovered": 1.0 if recovered else 0.0,
+        "recovery_s": availability.recovery_time if recovered else -1.0,
+    }
+
+
+#: group-churn rates (membership changes per second) the E8 grids drive
+E8_CHURN_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+def _make_churn_hook(rate: float):
+    def start_group_churn(scenario) -> None:
+        if rate > 0:
+            scenario.groups.start_churn(1, rate=rate, min_members=3)
+
+    return start_group_churn
+
+
+def e8_churn_hook_name(rate: float) -> str:
+    """Registered ``before_run`` hook driving ``rate`` changes/second."""
+    return f"group_churn_{rate:g}"
+
+
+for _rate in E8_CHURN_RATES:
+    register_hook(e8_churn_hook_name(_rate))(_make_churn_hook(_rate))
+
+
+@register_collector("membership_change_count")
+def _membership_changes(result) -> Dict[str, float]:
+    """Join/leave events beyond the initial memberships (experiment E8)."""
+    config = result.config
+    initial = config.n_groups * min(config.group_size, config.n_nodes)
+    return {
+        "membership_changes": max(0, len(result.scenario.groups.history) - initial)
+    }
+
+
+@register_collector("hypercube_structure")
+def _hypercube_structure(result) -> Dict[str, float]:
+    """Backbone-shape figures from the live HVDB model (experiment A1)."""
+    stack = result.scenario.stack
+    if stack is None:
+        return {}
+    summary = stack.model.backbone_summary()
+    return {"possible_hypercubes": int(summary["possible_hypercubes"])}
 
 
 # ---------------------------------------------------------------------------
@@ -224,6 +325,159 @@ register_spec(
             "max_speed": [0.0, 5.0, 10.0, 20.0],
         },
         seeds=(37,),
+        duration=90.0,
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="e5_availability",
+        description="E5: delivery before/during/after destroying a growing "
+        "fraction of the cluster heads mid-run (HVDB vs. flooding).",
+        base=ScenarioConfig(
+            n_nodes=110,
+            area_size=1500.0,
+            radio_range=270.0,
+            max_speed=2.0,
+            group_size=12,
+            traffic_interval=0.5,
+            traffic_start=25.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+        ),
+        grid={
+            "protocol": ["hvdb", "flooding"],
+            "during_run": [e5_failure_hook_name(f) for f in E5_FAIL_FRACTIONS],
+        },
+        seeds=(29,),
+        duration=E5_DURATION,
+        collector="availability_mid_run_failure",
+    )
+)
+
+#: shared base of the two E8 grids (membership under group churn)
+_E8_BASE = ScenarioConfig(
+    protocol="hvdb",
+    n_nodes=90,
+    area_size=1400.0,
+    radio_range=260.0,
+    max_speed=2.0,
+    group_size=10,
+    traffic_interval=1.0,
+    traffic_start=30.0,
+    vc_cols=8,
+    vc_rows=8,
+    dimension=4,
+    hvdb_params=HVDBParameters(
+        broadcaster_criterion=BroadcasterCriterion.NEIGHBORHOOD_MEMBERS
+    ),
+)
+
+register_spec(
+    SweepSpec(
+        name="e8_churn",
+        description="E8a: delivery and membership-control overhead vs. group "
+        "churn rate (joins/leaves during the run).",
+        base=_E8_BASE,
+        grid={
+            "before_run": [e8_churn_hook_name(r) for r in (0.0, 0.05, 0.2)],
+        },
+        seeds=(43,),
+        duration=100.0,
+        collector="membership_change_count",
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="e8_criteria",
+        description="E8b: designated-broadcaster criteria of Section 4.2 "
+        "compared under 0.1/s group churn.",
+        base=_E8_BASE,
+        grid={
+            "criterion": [
+                {
+                    "criterion": criterion.value,
+                    "hvdb_params": HVDBParameters(broadcaster_criterion=criterion),
+                }
+                for criterion in BroadcasterCriterion
+            ],
+        },
+        seeds=(43,),
+        duration=100.0,
+        before_run=e8_churn_hook_name(0.1),
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="a1_dimension",
+        description="A1: hypercube-dimension ablation on a fixed physical "
+        "network (mesh- vs. cube-tier forwarding trade-off).",
+        base=ScenarioConfig(
+            protocol="hvdb",
+            n_nodes=110,
+            area_size=1500.0,
+            radio_range=250.0,
+            max_speed=3.0,
+            group_size=12,
+            traffic_interval=1.0,
+            traffic_start=30.0,
+            vc_cols=8,
+            vc_rows=8,
+        ),
+        grid={"dimension": [2, 3, 4, 6]},
+        seeds=(47,),
+        duration=90.0,
+        collector="hypercube_structure",
+    )
+)
+
+#: A2's proactive-maintenance variants: timer rates and route horizons
+A2_VARIANTS = {
+    "fast (1.5x rate)": HVDBParameters(
+        local_membership_period=2.0,
+        mnt_summary_period=4.0,
+        ht_summary_period=8.0,
+        route_beacon_period=2.0,
+    ),
+    "default": HVDBParameters(),
+    "slow (0.5x rate)": HVDBParameters(
+        local_membership_period=6.0,
+        mnt_summary_period=12.0,
+        ht_summary_period=24.0,
+        route_beacon_period=6.0,
+    ),
+    "k=2 horizon": HVDBParameters(max_logical_hops=2),
+    "k=6 horizon": HVDBParameters(max_logical_hops=6),
+}
+
+register_spec(
+    SweepSpec(
+        name="a2_maintenance",
+        description="A2: proactive-maintenance intensity ablation "
+        "(beacon/summary timer rates and local-route horizon k).",
+        base=ScenarioConfig(
+            protocol="hvdb",
+            n_nodes=100,
+            area_size=1400.0,
+            radio_range=250.0,
+            max_speed=4.0,
+            group_size=10,
+            traffic_interval=1.0,
+            traffic_start=30.0,
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+        ),
+        grid={
+            "variant": [
+                {"variant": name, "hvdb_params": params}
+                for name, params in A2_VARIANTS.items()
+            ],
+        },
+        seeds=(53,),
         duration=90.0,
     )
 )

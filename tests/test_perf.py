@@ -1,0 +1,237 @@
+"""Tests of wall-time perf-regression tracking (`repro.experiments.perf`).
+
+The comparisons run on synthetic RunResult lists -- no simulation needed
+-- plus one CLI pass over exported artifacts checking the exit-code
+contract CI relies on: 0 ok/improved, 1 regressed, 2 missing baseline.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.orchestrator import (
+    ResultCache,
+    RunResult,
+    expand_spec,
+    export_json,
+)
+from repro.experiments.perf import (
+    compare_wall_times,
+    load_results,
+    mann_whitney_p,
+    point_label,
+    wall_time_groups,
+)
+
+
+def fake_result(params, seed, wall_time):
+    return RunResult(
+        run_id=f"fake/{point_label(params)}/seed={seed}",
+        params=dict(params),
+        seed=seed,
+        duration=10.0,
+        metrics={"pdr": 0.5},
+        wall_time=wall_time,
+    )
+
+
+def result_set(wall_times_by_point):
+    """{point-params-tuple: [wall_times]} -> list of RunResults."""
+    results = []
+    for params, wall_times in wall_times_by_point.items():
+        for seed, wall_time in enumerate(wall_times, start=1):
+            results.append(fake_result(dict(params), seed, wall_time))
+    return results
+
+
+class TestGrouping:
+    def test_point_label_excludes_seed_and_sorts(self):
+        assert point_label({"b": 2, "a": 1, "seed": 9}) == "a=1,b=2"
+        assert point_label({}) == "base"
+
+    def test_wall_time_groups(self):
+        results = result_set({(("n", 10),): [1.0, 2.0], (("n", 20),): [3.0]})
+        groups = wall_time_groups(results)
+        assert groups == {"n=10": [1.0, 2.0], "n=20": [3.0]}
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        assert mann_whitney_p([1.0, 1.0, 1.0, 1.0], [1.0, 1.0, 1.0, 1.0]) > 0.5
+
+    def test_clearly_shifted_samples_significant(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02]
+        b = [2.0, 2.1, 1.9, 2.05, 1.95, 2.02]
+        assert mann_whitney_p(a, b) < 0.05
+
+    def test_empty_side_is_inconclusive(self):
+        assert mann_whitney_p([], [1.0]) == 1.0
+
+
+class TestCompare:
+    def test_within_tolerance_is_ok(self):
+        base = result_set({(("n", 10),): [1.0, 1.0, 1.0]})
+        cur = result_set({(("n", 10),): [1.1, 1.1, 1.1]})
+        report = compare_wall_times(base, cur, tolerance=0.25)
+        assert [p.status for p in report.points] == ["ok"]
+        assert not report.regressed
+
+    def test_synthetic_2x_regression_is_flagged(self):
+        base = result_set({(("n", 10),): [1.0, 1.05, 0.95, 1.0, 1.02]})
+        cur = result_set({(("n", 10),): [2.0, 2.1, 1.9, 2.0, 2.05]})
+        report = compare_wall_times(base, cur, tolerance=0.5)
+        (point,) = report.points
+        assert point.status == "regressed"
+        assert point.ratio == pytest.approx(2.0, rel=0.1)
+        assert point.p_value is not None and point.p_value < 0.05
+        assert report.regressed
+
+    def test_noisy_single_point_needs_significance(self):
+        # median ratio above tolerance but overlapping distributions:
+        # the Mann-Whitney gate keeps one noisy machine from failing CI
+        base = result_set({(("n", 10),): [1.0, 3.0, 1.1, 2.9]})
+        cur = result_set({(("n", 10),): [2.8, 1.05, 3.1, 1.2]})
+        report = compare_wall_times(base, cur, tolerance=0.25)
+        assert [p.status for p in report.points] == ["ok"]
+
+    def test_improvement_is_reported_not_failed(self):
+        base = result_set({(("n", 10),): [2.0, 2.0]})
+        cur = result_set({(("n", 10),): [1.0, 1.0]})
+        report = compare_wall_times(base, cur, tolerance=0.25)
+        assert [p.status for p in report.points] == ["improved"]
+        assert not report.regressed
+
+    def test_missing_points_are_classified(self):
+        base = result_set({(("n", 10),): [1.0], (("n", 20),): [1.0]})
+        cur = result_set({(("n", 20),): [1.0], (("n", 30),): [1.0]})
+        report = compare_wall_times(base, cur)
+        by_point = {p.point: p.status for p in report.points}
+        assert by_point == {
+            "n=10": "missing-current",
+            "n=20": "ok",
+            "n=30": "missing-baseline",
+        }
+
+    def test_report_serialises(self):
+        base = result_set({(("n", 10),): [1.0]})
+        report = compare_wall_times(base, base, sweep="demo")
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["sweep"] == "demo"
+        assert doc["regressed"] is False
+        assert doc["counts"] == {"ok": 1}
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_wall_times([], [], tolerance=-0.1)
+
+
+class TestLoadResults:
+    def test_loads_json_artifact(self, tmp_path):
+        results = result_set({(("n", 10),): [1.0, 2.0]})
+        path = str(tmp_path / "out.json")
+        export_json(results, path)
+        loaded = load_results(path)
+        assert [r.wall_time for r in loaded] == [1.0, 2.0]
+
+    def test_cache_dir_requires_spec(self, tmp_path):
+        with pytest.raises(ValueError, match="cache directory"):
+            load_results(str(tmp_path))
+
+    def test_loads_cache_dir_via_spec_and_version(self, tmp_path):
+        from repro.experiments.orchestrator import SweepSpec
+        from repro.experiments.scenarios import ScenarioConfig
+
+        spec = SweepSpec(
+            name="tiny",
+            base=ScenarioConfig(protocol="flooding", n_nodes=12),
+            grid={"n_nodes": [10, 14]},
+            seeds=(1,),
+            duration=10.0,
+        )
+        cache = ResultCache(str(tmp_path))
+        runs = expand_spec(spec)
+        for i, run in enumerate(runs):
+            # stamp entries under CACHE_VERSION generation 99 only
+            cache.put(run.cache_key(version=99), fake_result(run.params, run.seed, float(i + 1)))
+        assert load_results(str(tmp_path), spec) == []
+        loaded = load_results(str(tmp_path), spec, cache_version=99)
+        assert [r.wall_time for r in loaded] == [1.0, 2.0]
+        # run ids are re-labelled under the requesting spec
+        assert [r.run_id for r in loaded] == [r.run_id for r in runs]
+
+
+class TestPerfCli:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        base = result_set({(("n_nodes", 10),): [1.0, 1.0, 1.0, 1.0, 1.0]})
+        fast = result_set({(("n_nodes", 10),): [0.5, 0.5, 0.5, 0.5, 0.5]})
+        slow = result_set({(("n_nodes", 10),): [2.0, 2.0, 2.0, 2.0, 2.0]})
+        paths = {}
+        for name, results in (("base", base), ("fast", fast), ("slow", slow)):
+            paths[name] = str(tmp_path / f"{name}.json")
+            export_json(results, paths[name])
+        return paths
+
+    def test_exit_codes(self, artifacts, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        report = str(tmp_path / "report.json")
+        improved = main(
+            ["perf", "smoke", "--baseline", artifacts["base"],
+             "--current", artifacts["fast"], "--report", report]
+        )
+        assert improved == 0
+        with open(report, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["counts"] == {"improved": 1}
+
+        regressed = main(
+            ["perf", "smoke", "--baseline", artifacts["base"],
+             "--current", artifacts["slow"], "--tolerance", "0.5"]
+        )
+        assert regressed == 1
+
+        missing = main(
+            ["perf", "smoke", "--baseline", str(tmp_path / "nope.json"),
+             "--current", artifacts["slow"]]
+        )
+        assert missing == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_missing_current_points_are_exit_2(self, artifacts, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        # baseline covers two grid points, current only one: the gate
+        # must not report "no regression" for the vanished point
+        base = result_set(
+            {(("n_nodes", 10),): [1.0, 1.0], (("n_nodes", 20),): [1.0, 1.0]}
+        )
+        wide = str(tmp_path / "wide.json")
+        export_json(base, wide)
+        code = main(["perf", "smoke", "--baseline", wide, "--current", artifacts["base"]])
+        assert code == 2
+        assert "no current results" in capsys.readouterr().err
+
+    def test_cache_version_flag_rejected_for_json_artifacts(
+        self, artifacts, capsys
+    ):
+        from repro.experiments.__main__ import main
+
+        code = main(
+            ["perf", "smoke", "--baseline", artifacts["base"],
+             "--current", artifacts["slow"], "--baseline-cache-version", "1"]
+        )
+        assert code == 2
+        assert "not a cache directory" in capsys.readouterr().err
+
+    def test_empty_baseline_is_exit_2(self, artifacts, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        empty = str(tmp_path / "empty.json")
+        export_json([], empty)
+        code = main(
+            ["perf", "smoke", "--baseline", empty, "--current", artifacts["slow"]]
+        )
+        assert code == 2
+        assert "holds no results" in capsys.readouterr().err
