@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench docs-check sweeps check ci
+.PHONY: test bench-smoke bench docs-check sweeps protocols protocol-coverage check ci
 
 ## tier-1 test suite (fast, deterministic) -- must stay green
 test:
@@ -29,8 +29,16 @@ docs-check:
 sweeps:
 	$(PYTHON) -m repro.experiments list
 
+## list registered protocol stacks / radios / MACs / mobility models
+protocols:
+	$(PYTHON) -m repro.experiments protocols
+
+## CI gate: every registered protocol must be exercised by a registered sweep
+protocol-coverage:
+	$(PYTHON) -m repro.experiments protocols --check-coverage
+
 ## everything a PR must keep green
-check: test bench-smoke docs-check
+check: test bench-smoke docs-check protocol-coverage
 
 ## reproduce the CI pipeline (.github/workflows/ci.yml) locally:
 ## tier-1 tests, docs consistency, the smoke sweep split across three
@@ -38,7 +46,7 @@ check: test bench-smoke docs-check
 ## and a wall-time diff against the committed baseline (loose tolerance
 ## across machines) plus a strict gate on a synthetic 2x regression
 CI_DIR := .ci
-ci: test docs-check
+ci: test docs-check protocol-coverage
 	rm -rf $(CI_DIR)
 	for i in 1 2 3; do \
 	  $(PYTHON) -m repro.experiments run smoke --shard $$i/3 \

@@ -25,7 +25,7 @@ def run_a1() -> List[Dict]:
         metrics = result.metrics
         rows.append(
             {
-                "dimension_k": result.params["dimension"],
+                "dimension_k": result.params["hvdb.dimension"],
                 "hypercubes": int(metrics["possible_hypercubes"]),
                 "pdr": round(metrics["pdr"], 3),
                 "delay_ms": round(metrics["mean_delay"] * 1000, 1),

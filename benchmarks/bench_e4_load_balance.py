@@ -15,6 +15,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List
 
+from repro.baselines.dsm import DsmConfig
+from repro.core.protocol import HVDBConfig
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import ScenarioConfig
 from repro.metrics.fairness import compute_load_balance
@@ -37,10 +39,8 @@ def base_config(protocol: str) -> ScenarioConfig:
         sources_per_group=3,       # multi-source traffic stresses hot spots
         traffic_interval=1.0,
         traffic_start=35.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        dsm_position_period=20.0,
+        hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
+        dsm=DsmConfig(position_period=20.0),
         seed=19,
     )
 

@@ -19,7 +19,9 @@ orchestrator; the pieces that need *code* -- the RPGM mobility, the
 capability marking and the QoS-satisfaction figure -- are registered by
 name (``register_mobility`` / ``register_hook`` / ``register_collector``)
 so the spec stays declarative and each run can execute in a worker
-process.
+process.  The mobility model is a first-class ``ScenarioConfig`` field,
+so the orchestrator's content-hash cache key captures it like any other
+parameter.
 
 Run with::
 
@@ -28,7 +30,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core.protocol import HVDB_PROTOCOL
+from repro.core.protocol import HVDB_PROTOCOL, HVDBConfig
 from repro.core.qos import QoSRequirement, qos_satisfaction_ratio
 from repro.experiments import (
     ScenarioConfig,
@@ -86,6 +88,7 @@ SPEC = SweepSpec(
     description="6 platoons under RPGM, 40% CH-capable nodes, 500 ms QoS bound",
     base=ScenarioConfig(
         protocol=HVDB_PROTOCOL,
+        mobility="battlefield_platoons",
         n_nodes=N_NODES,
         area_size=1200.0,
         radio_range=300.0,
@@ -94,15 +97,16 @@ SPEC = SweepSpec(
         sources_per_group=2,        # two concurrent commanders
         traffic_interval=1.0,
         traffic_start=30.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
-        qos_requirements={1: QOS},
+        hvdb=HVDBConfig(
+            vc_cols=8,
+            vc_rows=8,
+            dimension=4,
+            qos_requirements={1: QOS},
+        ),
     ),
     grid={},
     seeds=(17,),
     duration=150.0,
-    mobility="battlefield_platoons",
     before_run="battlefield_mark_capability",
     collector="qos_satisfaction_500ms",
 )

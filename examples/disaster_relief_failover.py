@@ -22,7 +22,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core.protocol import HVDB_PROTOCOL
+from repro.core.protocol import HVDB_PROTOCOL, HVDBConfig
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import ScenarioConfig
 from repro.metrics.availability import compute_availability, windowed_delivery_ratio
@@ -52,9 +52,7 @@ def main() -> None:
         group_size=14,
         traffic_interval=0.5,      # frequent situation updates
         traffic_start=25.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
+        hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
         seed=23,
     )
 

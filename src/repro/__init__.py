@@ -5,7 +5,10 @@ Backbone) QoS multicast model and protocol, every substrate it depends on
 (a discrete-event MANET simulator, mobility models, mobility-prediction
 clustering, location-based unicast routing, hypercube mathematics), the
 baseline protocols it is compared against, and the experiment harness that
-regenerates the evaluation.
+regenerates the evaluation.  Protocols, radios, MACs and mobility models
+are pluggable components resolved by registered name through
+:mod:`repro.registry`, so scenarios assemble declaratively and third-party
+protocol stacks plug into every sweep, benchmark and CLI surface.
 
 Quickstart::
 

@@ -17,20 +17,33 @@ evaluation can compare scalability, overhead and load balancing:
 * :mod:`repro.baselines.spbm` -- Scalable Position-Based Multicast [28]:
   square-hierarchy membership aggregation; data packets are addressed to
   squares and split as they descend the hierarchy.
+
+Each baseline ships as a registered
+:class:`~repro.simulation.stack.ProtocolStack` (``flooding``, ``dsm``,
+``sgm``, ``spbm``) with real ``aggregate_stats``, plus a typed config
+section (``DsmConfig``, ``SgmConfig``, ``SpbmConfig``) addressable from
+sweep grids via dotted axes (``dsm.position_period``, ...).
 """
 
-from repro.baselines.flooding import FloodingMulticastAgent, FLOODING_PROTOCOL
-from repro.baselines.dsm import DsmAgent, DSM_PROTOCOL
-from repro.baselines.sgm import SgmAgent, SGM_PROTOCOL
-from repro.baselines.spbm import SpbmAgent, SPBM_PROTOCOL
+from repro.baselines.flooding import FloodingMulticastAgent, FloodingStack, FLOODING_PROTOCOL
+from repro.baselines.dsm import DsmAgent, DsmConfig, DsmStack, DSM_PROTOCOL
+from repro.baselines.sgm import SgmAgent, SgmConfig, SgmStack, SGM_PROTOCOL
+from repro.baselines.spbm import SpbmAgent, SpbmConfig, SpbmStack, SPBM_PROTOCOL
 
 __all__ = [
     "FloodingMulticastAgent",
+    "FloodingStack",
     "FLOODING_PROTOCOL",
     "DsmAgent",
+    "DsmConfig",
+    "DsmStack",
     "DSM_PROTOCOL",
     "SgmAgent",
+    "SgmConfig",
+    "SgmStack",
     "SGM_PROTOCOL",
     "SpbmAgent",
+    "SpbmConfig",
+    "SpbmStack",
     "SPBM_PROTOCOL",
 ]

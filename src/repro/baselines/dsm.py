@@ -12,14 +12,24 @@ be periodically broadcast from each node to all the other nodes").
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.geo.geometry import Point, distance
+from repro.registry import register_protocol
 from repro.simulation.agent import ProtocolAgent
 from repro.simulation.engine import PeriodicTimer
 from repro.simulation.packet import Packet, PacketKind
+from repro.simulation.stack import AgentStack
 
 DSM_PROTOCOL = "dsm"
+
+
+@dataclass
+class DsmConfig:
+    """Typed DSM section of a ``ScenarioConfig`` (grid axes ``dsm.*``)."""
+
+    position_period: float = 15.0   #: seconds between network-wide position floods
 
 
 class DsmAgent(ProtocolAgent):
@@ -165,3 +175,15 @@ class DsmAgent(ProtocolAgent):
             if packet.group is not None and self.node.is_member(packet.group):
                 self.node.deliver_to_application(packet)
             self._forward_along_tree(packet)
+
+
+@register_protocol(DSM_PROTOCOL)
+class DsmStack(AgentStack):
+    """The registered ``dsm`` stack: source-routed multicast over floods."""
+
+    name = DSM_PROTOCOL
+    stat_fields = ("data_originated", "position_floods")
+
+    def make_agent(self, config=None) -> DsmAgent:
+        dsm = config.dsm if config is not None else DsmConfig()
+        return DsmAgent(position_update_period=dsm.position_period)

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import Set
 
+from repro.registry import register_protocol
 from repro.simulation.agent import ProtocolAgent
 from repro.simulation.packet import Packet, PacketKind
+from repro.simulation.stack import AgentStack
 
 FLOODING_PROTOCOL = "flooding"
 
@@ -58,3 +60,14 @@ class FloodingMulticastAgent(ProtocolAgent):
             self.node.deliver_to_application(packet)
         self.rebroadcasts += 1
         self.node.broadcast(packet.copy_for_forwarding())
+
+
+@register_protocol(FLOODING_PROTOCOL)
+class FloodingStack(AgentStack):
+    """The registered ``flooding`` stack: one agent per node, no knobs."""
+
+    name = FLOODING_PROTOCOL
+    stat_fields = ("data_originated", "rebroadcasts")
+
+    def make_agent(self, config=None) -> FloodingMulticastAgent:
+        return FloodingMulticastAgent()

@@ -18,17 +18,27 @@ out.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.geo.geometry import Point, distance
+from repro.registry import register_protocol
 from repro.simulation.agent import ProtocolAgent
 from repro.simulation.packet import Packet, PacketKind
+from repro.simulation.stack import AgentStack
 from repro.unicast.router import GEO_PROTOCOL, GeoUnicastAgent
 
 SGM_PROTOCOL = "sgm"
 
 #: branching factor of the location-guided tree
 _DEFAULT_FANOUT = 3
+
+
+@dataclass
+class SgmConfig:
+    """Typed SGM section of a ``ScenarioConfig`` (grid axes ``sgm.*``)."""
+
+    fanout: int = _DEFAULT_FANOUT       #: branching factor of the overlay tree
 
 
 class SgmAgent(ProtocolAgent):
@@ -113,3 +123,16 @@ class SgmAgent(ProtocolAgent):
             idx = min(range(k), key=lambda i: distance(positions[d], positions[seeds[i]]))
             clusters[idx].append(d)
         return clusters
+
+
+@register_protocol(SGM_PROTOCOL)
+class SgmStack(AgentStack):
+    """The registered ``sgm`` stack: overlay-tree agents over geo-unicast."""
+
+    name = SGM_PROTOCOL
+    uses_geo_unicast = True
+    stat_fields = ("data_originated", "branches_forwarded")
+
+    def make_agent(self, config=None) -> SgmAgent:
+        sgm = config.sgm if config is not None else SgmConfig()
+        return SgmAgent(fanout=sgm.fanout)

@@ -19,18 +19,29 @@ aggregated square announcements are flooded within the parent square.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.geo.geometry import Point, distance
+from repro.registry import register_protocol
 from repro.simulation.agent import ProtocolAgent
 from repro.simulation.engine import PeriodicTimer
 from repro.simulation.packet import Packet, PacketKind
+from repro.simulation.stack import AgentStack
 from repro.unicast.router import GEO_PROTOCOL, GeoUnicastAgent
 
 SPBM_PROTOCOL = "spbm"
 
 #: square identifier: (level, ix, iy); level 0 = smallest squares
 Square = Tuple[int, int, int]
+
+
+@dataclass
+class SpbmConfig:
+    """Typed SPBM section of a ``ScenarioConfig`` (grid axes ``spbm.*``)."""
+
+    levels: int = 3                 #: quad-tree depth of the square hierarchy
+    announce_period: float = 5.0    #: seconds between membership announcements
 
 
 class SpbmAgent(ProtocolAgent):
@@ -234,3 +245,16 @@ class SpbmAgent(ProtocolAgent):
                 self.node.broadcast(rebroadcast)
             return
         self._forward(packet)
+
+
+@register_protocol(SPBM_PROTOCOL)
+class SpbmStack(AgentStack):
+    """The registered ``spbm`` stack: quad-tree membership over geo-unicast."""
+
+    name = SPBM_PROTOCOL
+    uses_geo_unicast = True
+    stat_fields = ("data_originated", "announcements_sent")
+
+    def make_agent(self, config=None) -> SpbmAgent:
+        spbm = config.spbm if config is not None else SpbmConfig()
+        return SpbmAgent(levels=spbm.levels, announce_period=spbm.announce_period)

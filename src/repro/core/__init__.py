@@ -17,8 +17,10 @@
 * :mod:`repro.core.qos` -- QoS requirements, route feasibility and
   disjoint-route selection.
 * :mod:`repro.core.protocol` -- :class:`HVDBProtocolAgent`, the runnable
-  per-node protocol, and :class:`HVDBStack`, the helper that wires a whole
-  simulated network with clustering + geo-unicast + HVDB agents.
+  per-node protocol, and :class:`HVDBStack`, the registered ``hvdb``
+  protocol stack that wires a whole simulated network with clustering +
+  geo-unicast + HVDB agents, configured through the typed
+  :class:`HVDBConfig` scenario section.
 """
 
 from repro.core.identifiers import LogicalAddressSpace, LogicalAddress
@@ -42,7 +44,13 @@ from repro.core.multicast_routing import (
     MulticastForwardingState,
 )
 from repro.core.qos import QoSRequirement, RouteQoS, select_qos_route, QoSViolation
-from repro.core.protocol import HVDBProtocolAgent, HVDBStack, HVDB_PROTOCOL
+from repro.core.protocol import (
+    HVDBConfig,
+    HVDBParameters,
+    HVDBProtocolAgent,
+    HVDBStack,
+    HVDB_PROTOCOL,
+)
 
 __all__ = [
     "LogicalAddressSpace",
@@ -65,6 +73,8 @@ __all__ = [
     "RouteQoS",
     "select_qos_route",
     "QoSViolation",
+    "HVDBConfig",
+    "HVDBParameters",
     "HVDBProtocolAgent",
     "HVDBStack",
     "HVDB_PROTOCOL",

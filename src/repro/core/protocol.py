@@ -19,11 +19,17 @@ address space and the geographic unicast substrate:
 logical address space, the clustering service, one
 :class:`~repro.unicast.router.GeoUnicastAgent` and one
 :class:`HVDBProtocolAgent` per node, and keeps the shared
-:class:`~repro.core.hvdb.HVDBModel` up to date as clusters change.
+:class:`~repro.core.hvdb.HVDBModel` up to date as clusters change.  It is
+the registered ``hvdb`` :class:`~repro.simulation.stack.ProtocolStack`;
+scenario assembly configures it through the typed :class:`HVDBConfig`
+section of a ``ScenarioConfig`` (grid axes ``hvdb.dimension``,
+``hvdb.params``, ...).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -43,10 +49,12 @@ from repro.core.qos import QoSRequirement, select_qos_route
 from repro.core.route_maintenance import LinkQoS, LogicalRoute, LogicalRouteTable
 from repro.geo.grid import VirtualCircleGrid
 from repro.hypercube.multicast_tree import MulticastTree
+from repro.registry import register_protocol
 from repro.simulation.agent import ProtocolAgent
 from repro.simulation.engine import PeriodicTimer
 from repro.simulation.network import Network
 from repro.simulation.packet import Packet, PacketKind
+from repro.simulation.stack import ProtocolStack
 from repro.unicast.router import GEO_PROTOCOL, GeoUnicastAgent
 
 #: Protocol identifier of the HVDB multicast protocol.
@@ -67,6 +75,24 @@ class HVDBParameters:
     broadcaster_criterion: BroadcasterCriterion = BroadcasterCriterion.NEIGHBORHOOD_MEMBERS
     report_expiry: float = 12.0
     data_payload_overhead: int = 48     #: bytes added by tree encapsulation
+
+
+@dataclass
+class HVDBConfig:
+    """Typed HVDB section of a ``ScenarioConfig`` (grid axes ``hvdb.*``).
+
+    Describes the logical structure (virtual-circle grid, hypercube
+    dimension), clustering cadence, protocol timer parameters and
+    per-group QoS requirements of an HVDB scenario.
+    """
+
+    vc_cols: int = 8                    #: virtual-circle grid columns
+    vc_rows: int = 8                    #: virtual-circle grid rows
+    dimension: int = 4                  #: hypercube dimension
+    clustering_interval: float = 2.0    #: seconds between CH re-elections
+    clustering_hysteresis: float = 0.5  #: score margin before a CH hand-over
+    params: Optional[HVDBParameters] = None   #: protocol timers (None = defaults)
+    qos_requirements: Dict[int, QoSRequirement] = field(default_factory=dict)
 
 
 @dataclass
@@ -673,44 +699,70 @@ class HVDBProtocolAgent(ProtocolAgent):
             self._geo().send(copy, member)
 
 
-class HVDBStack:
-    """Builds and owns the shared HVDB state of one simulated network."""
+@register_protocol(HVDB_PROTOCOL)
+class HVDBStack(ProtocolStack):
+    """Builds and owns the shared HVDB state of one simulated network.
+
+    The constructor is the direct-wiring path (unit tests build a
+    network by hand and call ``install(network)``): it takes an
+    :class:`HVDBConfig` and/or individual field overrides, so the
+    defaults live in :class:`HVDBConfig` alone.  When scenario assembly
+    calls ``install(network, config)``, the ``ScenarioConfig``'s HVDB
+    section (and seed) replaces the constructor settings.
+    """
+
+    name = HVDB_PROTOCOL
 
     def __init__(
         self,
-        network: Network,
-        vc_cols: int,
-        vc_rows: int,
-        dimension: int,
-        params: Optional[HVDBParameters] = None,
-        clustering_interval: float = 2.0,
-        clustering_hysteresis: float = 0.5,
-        qos_requirements: Optional[Dict[int, QoSRequirement]] = None,
+        config: Optional[HVDBConfig] = None,
         seed: Optional[int] = None,
+        **overrides,
     ) -> None:
+        section = config or HVDBConfig()
+        if overrides:       # individual HVDBConfig fields, e.g. dimension=3
+            section = dataclasses.replace(section, **overrides)
+        self.network: Optional[Network] = None
+        self.seed = seed
+        self.agents: Dict[int, HVDBProtocolAgent] = {}
+        self.model_rebuilds = 0
+        self._apply_section(section)
+
+    def _apply_section(self, section: HVDBConfig) -> None:
+        self.vc_cols = section.vc_cols
+        self.vc_rows = section.vc_rows
+        self.dimension = section.dimension
+        self.clustering_interval = section.clustering_interval
+        self.clustering_hysteresis = section.clustering_hysteresis
+        self.params = section.params or HVDBParameters()
+        self.qos_requirements: Dict[int, QoSRequirement] = dict(
+            section.qos_requirements or {}
+        )
+
+    # ------------------------------------------------------------------
+    def install(self, network: Network, config=None) -> None:
+        """Wire the shared HVDB state and attach agents to every node.
+
+        ``config`` is a ``ScenarioConfig`` whose :class:`HVDBConfig`
+        section (and seed) replaces the constructor settings; ``None``
+        keeps them (the direct-wiring path).
+        """
+        if config is not None:
+            self._apply_section(config.hvdb)
+            self.seed = config.seed
         self.network = network
-        self.params = params or HVDBParameters()
-        self.grid = VirtualCircleGrid(network.config.area, vc_cols, vc_rows)
-        self.space = LogicalAddressSpace(self.grid, dimension)
+        self.grid = VirtualCircleGrid(network.config.area, self.vc_cols, self.vc_rows)
+        self.space = LogicalAddressSpace(self.grid, self.dimension)
         self.clustering = ClusteringService(
             network,
             self.grid,
-            update_interval=clustering_interval,
-            hysteresis=clustering_hysteresis,
+            update_interval=self.clustering_interval,
+            hysteresis=self.clustering_hysteresis,
         )
-        self.qos_requirements: Dict[int, QoSRequirement] = dict(qos_requirements or {})
-        import random as _random
-
-        self.rng = _random.Random(seed)
+        self.rng = random.Random(self.seed)
         self.model = HVDBModel(self.space, self.clustering.snapshot())
-        self.agents: Dict[int, HVDBProtocolAgent] = {}
-        self.model_rebuilds = 0
         self.clustering.add_listener(self._on_cluster_update)
-
-    # ------------------------------------------------------------------
-    def install_agents(self) -> None:
-        """Attach a geo-unicast agent and an HVDB agent to every node."""
-        for node in self.network.nodes.values():
+        for node in network.nodes.values():
             if not node.has_agent(GEO_PROTOCOL):
                 node.attach_agent(GeoUnicastAgent())
             agent = HVDBProtocolAgent(self, self.params)
@@ -721,6 +773,10 @@ class HVDBStack:
         """Start clustering updates and the network (agents included)."""
         self.clustering.start()
         self.network.start()
+
+    def backbone_nodes(self) -> List[int]:
+        """The cluster heads: the virtual dynamic backbone."""
+        return self.model.cluster_heads()
 
     def set_qos_requirement(self, group: int, requirement: QoSRequirement) -> None:
         self.qos_requirements[group] = requirement

@@ -1,8 +1,12 @@
 """Experiment harness (System S10).
 
-* :mod:`repro.experiments.scenarios` -- :class:`ScenarioConfig` and the
-  builders that assemble a complete simulated network for the HVDB
-  protocol or any baseline.
+* :mod:`repro.experiments.scenarios` -- :class:`ScenarioConfig` (a core
+  section, registered component names for protocol/radio/mac/mobility,
+  and typed per-protocol sections addressed by dotted grid axes like
+  ``hvdb.dimension``) and :func:`build_scenario`, which resolves every
+  name through :mod:`repro.registry` and assembles a complete simulated
+  network for any registered
+  :class:`~repro.simulation.stack.ProtocolStack`.
 * :mod:`repro.experiments.runner` -- run one scenario in-process and
   collect a :class:`~repro.metrics.collectors.MetricsReport`; the
   executor the orchestrator's workers invoke.
@@ -18,8 +22,9 @@
   compare the per-run wall times of two result sets (cache directories,
   exported artifacts, or cache generations) point by point.
 * ``python -m repro.experiments`` -- CLI over the registry:
-  ``list`` / ``run`` / ``resume`` / ``export`` / ``merge`` / ``perf``,
-  with ``--shard I/N`` splitting a grid across share-nothing CI jobs.
+  ``list`` / ``run`` / ``resume`` / ``export`` / ``merge`` / ``perf`` /
+  ``protocols`` (registered components + spec-coverage check), with
+  ``--shard I/N`` splitting a grid across share-nothing CI jobs.
 
 Minimal single run::
 
@@ -47,6 +52,7 @@ from repro.experiments.scenarios import (
     ScenarioConfig,
     BuiltScenario,
     build_scenario,
+    config_axis_names,
     PROTOCOLS,
 )
 from repro.experiments.runner import run_scenario, sweep, ExperimentResult, results_table
@@ -63,7 +69,7 @@ from repro.experiments.orchestrator import (
     parse_shard,
     shard_runs,
     merge_caches,
-    validate_hooks,
+    validate_runs,
     load_cached_results,
     summarize,
     mean_ci95,
@@ -72,9 +78,15 @@ from repro.experiments.orchestrator import (
     load_csv,
     load_json,
     register_collector,
-    register_mobility,
     register_hook,
 )
+from repro.registry import (
+    register_mac,
+    register_mobility,
+    register_protocol,
+    register_radio,
+)
+from repro.simulation.stack import AgentStack, ProtocolStack
 from repro.experiments.perf import (
     PerfReport,
     PointComparison,
@@ -94,7 +106,10 @@ __all__ = [
     "ScenarioConfig",
     "BuiltScenario",
     "build_scenario",
+    "config_axis_names",
     "PROTOCOLS",
+    "ProtocolStack",
+    "AgentStack",
     "run_scenario",
     "sweep",
     "ExperimentResult",
@@ -111,7 +126,7 @@ __all__ = [
     "parse_shard",
     "shard_runs",
     "merge_caches",
-    "validate_hooks",
+    "validate_runs",
     "load_cached_results",
     "PerfReport",
     "PointComparison",
@@ -126,8 +141,11 @@ __all__ = [
     "load_csv",
     "load_json",
     "register_collector",
-    "register_mobility",
     "register_hook",
+    "register_protocol",
+    "register_radio",
+    "register_mac",
+    "register_mobility",
     "SPECS",
     "available_specs",
     "get_spec",

@@ -3,6 +3,7 @@
 ::
 
     python -m repro.experiments list
+    python -m repro.experiments protocols [--check-coverage]
     python -m repro.experiments run SWEEP [--workers N] [--shard 2/3] ...
     python -m repro.experiments resume SWEEP [...]
     python -m repro.experiments export SWEEP --out DIR [...]
@@ -23,6 +24,11 @@ directories cover the sweep exactly once; ``merge`` then folds the shard
 caches together and exports the full artifact set, and ``perf`` diffs
 the per-run wall times of two result sets (cache dirs, exported JSON
 artifacts, or cache generations) and exits non-zero on a regression.
+
+``protocols`` lists every registered pluggable component (protocol
+stacks, radios, MACs, mobility models) and, with ``--check-coverage``,
+exits non-zero unless every registered protocol is exercised by at least
+one registered sweep (the CI gate keeping new protocols tested).
 """
 
 from __future__ import annotations
@@ -67,6 +73,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered sweeps")
+
+    p = sub.add_parser(
+        "protocols",
+        help="list registered protocols/radios/MACs/mobility models "
+        "(--check-coverage: fail unless every protocol has a sweep)",
+    )
+    p.add_argument(
+        "--check-coverage",
+        action="store_true",
+        help="exit 1 unless every registered protocol is exercised by at "
+        "least one registered sweep",
+    )
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("sweep", help="registered sweep name (see `list`)")
@@ -271,6 +289,56 @@ def _cmd_list() -> int:
     return 0
 
 
+def _protocol_coverage() -> dict:
+    """Map each registered protocol to the sweeps whose grids exercise it."""
+    from repro.experiments.orchestrator import expand_spec
+    from repro.registry import PROTOCOL_STACKS
+
+    coverage = {name: [] for name in PROTOCOL_STACKS.names()}
+    for spec in available_specs():
+        swept = {run.config.protocol for run in expand_spec(spec)}
+        for protocol in swept:
+            if protocol in coverage:
+                coverage[protocol].append(spec.name)
+    return coverage
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    from repro.registry import MACS, MOBILITY_MODELS, RADIOS
+
+    coverage = _protocol_coverage()
+    rows = [
+        {
+            "protocol": name,
+            "sweeps": ", ".join(sorted(specs)) or "(none)",
+        }
+        for name, specs in coverage.items()
+    ]
+    print(format_table(rows, title="Registered protocol stacks and the sweeps exercising them"))
+    print()
+    components = [
+        {"kind": "radio", "registered": ", ".join(RADIOS.names())},
+        {"kind": "mac", "registered": ", ".join(MACS.names())},
+        {"kind": "mobility", "registered": ", ".join(MOBILITY_MODELS.names())},
+    ]
+    print(format_table(components, title="Other registered components"))
+    if args.check_coverage:
+        uncovered = sorted(name for name, specs in coverage.items() if not specs)
+        if uncovered:
+            print(
+                "protocols: FAIL: registered protocol(s) exercised by no "
+                f"registered sweep: {', '.join(uncovered)} -- add a spec "
+                "(or a protocol axis value) covering them",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"protocols: OK ({len(coverage)} protocols, every one exercised "
+            "by at least one registered sweep)"
+        )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
     spec = _customize(get_spec(args.sweep), args)
     cache_dir: Optional[str] = None if args.no_cache else args.cache_dir
@@ -432,6 +500,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "protocols":
+            return _cmd_protocols(args)
         if args.command == "run":
             return _cmd_run(args, require_cache=False)
         if args.command == "resume":

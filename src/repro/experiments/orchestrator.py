@@ -35,7 +35,10 @@ Example -- a 2-axis sweep with 3 replication seeds, run on 4 workers::
     for row in summarize(results):
         print(row["n_nodes"], row["group_size"], row["pdr_mean"], row["pdr_ci95"])
 
-A grid axis usually names a single ``ScenarioConfig`` field, but an axis
+A grid axis usually names a single ``ScenarioConfig`` field -- including
+*dotted* axes into the typed per-protocol sections (``"hvdb.dimension"``,
+``"dsm.position_period"``) and the pluggable component names
+(``"protocol"``, ``"radio"``, ``"mac"``, ``"mobility"``) -- but an axis
 value may also be a dict of several field overrides that must move
 together (e.g. growing the area with the node count to keep density
 constant)::
@@ -45,14 +48,16 @@ constant)::
 
 Hooks that need code, not data -- per-run metric extraction with access to
 the live scenario, or a custom mobility model -- are referenced *by name*
-through :func:`register_collector` / :func:`register_mobility` so a
-:class:`RunSpec` stays picklable across process boundaries.
+through :func:`register_collector` /
+:func:`repro.registry.register_mobility` so a :class:`RunSpec` stays
+picklable across process boundaries.
 """
 
 from __future__ import annotations
 
 import csv
 import dataclasses
+import enum
 import hashlib
 import itertools
 import json
@@ -64,11 +69,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.scenarios import ScenarioConfig, config_axis_names
+from repro.registry import (
+    MACS,
+    MOBILITY_MODELS,
+    PROTOCOL_STACKS,
+    RADIOS,
+    RegistryError,
+    register_mobility,
+)
 
 #: Bump to invalidate every cached result after a change to the simulation
 #: or metrics code that alters run outcomes.
-CACHE_VERSION = 1
+#: 2: registry-driven scenario assembly -- nested typed per-protocol
+#:    config sections, mobility/radio/mac as first-class config fields.
+CACHE_VERSION = 2
 
 
 class SweepError(RuntimeError):
@@ -92,9 +107,10 @@ class SpecError(ValueError):
 # ---------------------------------------------------------------------------
 # Registries: picklable-by-name hooks
 # ---------------------------------------------------------------------------
+# (component registries -- protocol stacks, radios, MACs, mobility models --
+# live in repro.registry; these are the orchestrator-local hook seams)
 
 _COLLECTORS: Dict[str, Callable] = {}
-_MOBILITY_FACTORIES: Dict[str, Callable] = {}
 _HOOKS: Dict[str, Callable] = {}
 
 
@@ -116,16 +132,6 @@ def register_collector(name: str) -> Callable:
 
     def decorator(fn: Callable) -> Callable:
         _COLLECTORS[name] = fn
-        return fn
-
-    return decorator
-
-
-def register_mobility(name: str) -> Callable:
-    """Register a mobility factory ``fn(config, node_ids) -> MobilityModel``."""
-
-    def decorator(fn: Callable) -> Callable:
-        _MOBILITY_FACTORIES[name] = fn
         return fn
 
     return decorator
@@ -184,7 +190,6 @@ class RunSpec:
     seed: int
     params: Dict[str, Any] = field(default_factory=dict)  #: the swept values
     collector: Optional[str] = None   #: registered collector name
-    mobility: Optional[str] = None    #: registered mobility-factory name
     before_run: Optional[str] = None  #: registered hook, called before start
     during_run: Optional[str] = None  #: registered hook, called mid-run
 
@@ -192,20 +197,25 @@ class RunSpec:
         """Content hash identifying this run's outcome.
 
         Covers every input that determines the result: the complete
-        scenario config, the duration, the named hooks and
-        :data:`CACHE_VERSION` (bumped on behaviour-changing code edits).
-        The sweep name and cosmetic run id are deliberately excluded, so
-        identical runs reached through different sweeps share cache
-        entries.  ``version`` overrides :data:`CACHE_VERSION`, which lets
-        perf tracking address an older cache generation in the same
-        directory.
+        scenario config (recursively canonicalised -- nested per-protocol
+        sections, enum-valued parameters and dict-valued fields hash
+        independently of insertion order), the duration, the named hooks
+        and :data:`CACHE_VERSION` (bumped on behaviour-changing code
+        edits).  The mobility/radio/mac component names are part of the
+        config itself, so they need no separate slot here.  The sweep name
+        and cosmetic run id are deliberately excluded, so identical runs
+        reached through different sweeps share cache entries.  ``version``
+        overrides :data:`CACHE_VERSION`, which lets perf tracking address
+        an older cache generation in the same directory -- provided the
+        config *shape* has not changed between generations (generation 1
+        predates the nested per-protocol sections, so its entries are
+        unreachable from this code regardless of ``version``).
         """
         payload = {
             "version": CACHE_VERSION if version is None else version,
             "config": _canonical(dataclasses.asdict(self.config)),
             "duration": self.duration,
             "collector": self.collector,
-            "mobility": self.mobility,
             "before_run": self.before_run,
             "during_run": self.during_run,
         }
@@ -214,7 +224,9 @@ class RunSpec:
 
 
 def _canonical(value: Any) -> Any:
-    """Make a config dict deterministic and JSON-safe for hashing."""
+    """Make a (possibly nested) config value deterministic and JSON-safe."""
+    if isinstance(value, enum.Enum):
+        return _canonical(value.value)
     if isinstance(value, dict):
         return {str(k): _canonical(value[k]) for k in sorted(value, key=str)}
     if isinstance(value, (list, tuple)):
@@ -247,7 +259,6 @@ class SweepSpec:
     duration: float = 90.0
     description: str = ""
     collector: Optional[str] = None
-    mobility: Optional[str] = None
     before_run: Optional[str] = None
     during_run: Optional[str] = None
 
@@ -277,11 +288,31 @@ def _format_value(value: Any) -> str:
 #: RunSpec slots a grid axis may sweep in addition to ScenarioConfig
 #: fields: the named-hook seams.  An axis named (or a dict value
 #: containing) one of these overrides the spec-level hook for that run.
-HOOK_AXES = ("collector", "mobility", "before_run", "during_run")
+HOOK_AXES = ("collector", "before_run", "during_run")
 
 
-def _config_field_names() -> frozenset:
-    return frozenset(f.name for f in dataclasses.fields(ScenarioConfig))
+def _apply_config_overrides(
+    base: ScenarioConfig, overrides: Mapping[str, Any]
+) -> ScenarioConfig:
+    """Apply plain and dotted (``section.field``) overrides to ``base``.
+
+    Dotted keys replace one field inside a typed per-protocol section via
+    a nested ``dataclasses.replace``; a whole-section override
+    (``"hvdb": HVDBConfig(...)``) composes with dotted keys into the same
+    section (the section override is applied first).
+    """
+    plain: Dict[str, Any] = {}
+    nested: Dict[str, Dict[str, Any]] = {}
+    for key, value in overrides.items():
+        if "." in key:
+            section, _, sub = key.partition(".")
+            nested.setdefault(section, {})[sub] = value
+        else:
+            plain[key] = value
+    for section, subs in nested.items():
+        current = plain.get(section, getattr(base, section))
+        plain[section] = dataclasses.replace(current, **subs)
+    return dataclasses.replace(base, **plain)
 
 
 def expand_spec(spec: SweepSpec) -> List[RunSpec]:
@@ -292,13 +323,16 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
     derives its stream from that one value, so the same (spec, seed) pair
     always reproduces the same run.
 
-    An axis may name a :class:`ScenarioConfig` field, one of the
-    :data:`HOOK_AXES` (sweeping a registered hook by name), or -- with
-    dict values that include the axis name itself -- act as a pure label
-    whose remaining keys are the coupled field/hook overrides::
+    An axis may name a :class:`ScenarioConfig` field (including dotted
+    axes into the typed per-protocol sections, ``"hvdb.dimension"``, and
+    the pluggable component names ``protocol``/``radio``/``mac``/
+    ``mobility``), one of the :data:`HOOK_AXES` (sweeping a registered
+    hook by name), or -- with dict values that include the axis name
+    itself -- act as a pure label whose remaining keys are the coupled
+    field/hook overrides::
 
-        grid = {"variant": [{"variant": "fast", "hvdb_params": fast_params},
-                            {"variant": "slow", "hvdb_params": slow_params}]}
+        grid = {"variant": [{"variant": "fast", "hvdb.params": fast_params},
+                            {"variant": "slow", "hvdb.params": slow_params}]}
 
     Label axes keep ``params`` (and therefore run ids, CSV columns and
     :func:`summarize` grouping) scalar even when the coupled override is a
@@ -323,7 +357,7 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
             )
         value_lists.append(values)
 
-    config_fields = _config_field_names()
+    config_fields = config_axis_names()
     runs: List[RunSpec] = []
     for combo in itertools.product(*value_lists) if axes else [()]:
         overrides: Dict[str, Any] = {}
@@ -352,9 +386,10 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
                 else:
                     raise SpecError(
                         f"sweep {spec.name!r}: axis/override key {key!r} is "
-                        f"neither a ScenarioConfig field nor a hook slot "
-                        f"{HOOK_AXES}; for a display-only axis use dict "
-                        "values that include the axis name itself"
+                        f"neither a ScenarioConfig field (dotted section "
+                        f"axes like 'hvdb.dimension' included) nor a hook "
+                        f"slot {HOOK_AXES}; for a display-only axis use "
+                        "dict values that include the axis name itself"
                     )
         # an explicit "seed" axis replaces the replication-seed loop, so
         # sweeping the seed itself (sweep(parameter="seed")) works without
@@ -362,7 +397,9 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
         seed_values = (overrides["seed"],) if "seed" in overrides else spec.seeds
         for run_seed in seed_values:
             merged = {k: v for k, v in overrides.items() if k != "seed"}
-            config = dataclasses.replace(spec.base, seed=run_seed, **merged)
+            config = _apply_config_overrides(
+                dataclasses.replace(spec.base, seed=run_seed), merged
+            )
             label = ",".join(
                 f"{k}={_format_value(v)}" for k, v in sorted(params.items())
             ) or "base"
@@ -374,7 +411,6 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
                     seed=run_seed,
                     params=dict(params),
                     collector=hooks["collector"],
-                    mobility=hooks["mobility"],
                     before_run=hooks["before_run"],
                     during_run=hooks["during_run"],
                 )
@@ -424,20 +460,36 @@ def shard_runs(runs: Sequence[RunSpec], index: int, count: int) -> List[RunSpec]
     return list(runs[index - 1 :: count])
 
 
-def validate_hooks(runs: Sequence[RunSpec]) -> None:
-    """Check every named hook of ``runs`` resolves, before anything executes.
+def validate_runs(runs: Sequence[RunSpec]) -> None:
+    """Check every named component and hook of ``runs`` resolves, eagerly.
 
-    A typo'd hook name would otherwise only surface as a per-run failure
-    inside a worker after the rest of the grid has burned its budget;
-    this turns it into an eager :class:`SpecError`.  Resolution uses the
-    same registries (and the same lazy specs import) as the workers.
+    A typo'd protocol/radio/mac/mobility name (config fields resolved
+    through :mod:`repro.registry`) or hook name would otherwise only
+    surface as a per-run failure inside a worker after the rest of the
+    grid has burned its budget; this turns it into an eager
+    :class:`SpecError` whose message lists the registered alternatives.
+    Resolution uses the same registries (and the same lazy specs import)
+    as the workers.
     """
     problems = []
     checked = set()
     for run in runs:
+        config = run.config
+        for registry, name in (
+            (PROTOCOL_STACKS, config.protocol),
+            (RADIOS, config.radio),
+            (MACS, config.mac),
+            (MOBILITY_MODELS, config.mobility),
+        ):
+            if (registry.kind, name) in checked:
+                continue
+            checked.add((registry.kind, name))
+            try:
+                registry.get(name)
+            except RegistryError as exc:
+                problems.append(str(exc))
         for registry, kind, name in (
             (_COLLECTORS, "collector", run.collector),
-            (_MOBILITY_FACTORIES, "mobility factory", run.mobility),
             (_HOOKS, "hook", run.before_run),
             (_HOOKS, "hook", run.during_run),
         ):
@@ -601,11 +653,6 @@ def execute_run(run: RunSpec) -> RunResult:
     """
     from repro.experiments.runner import run_scenario  # runner builds on this module
 
-    mobility_factory = (
-        _resolve_registered(_MOBILITY_FACTORIES, run.mobility, "mobility factory")
-        if run.mobility
-        else None
-    )
     before_run = (
         _resolve_registered(_HOOKS, run.before_run, "hook") if run.before_run else None
     )
@@ -616,7 +663,6 @@ def execute_run(run: RunSpec) -> RunResult:
     result = run_scenario(
         run.config,
         duration=run.duration,
-        mobility_factory=mobility_factory,
         before_run=before_run,
         during_run=during_run,
     )
@@ -667,7 +713,7 @@ def run_sweep(
     if shard is not None:
         runs = shard_runs(runs, *shard)
         label = f"{spec.name} shard {shard[0]}/{shard[1]}"
-    validate_hooks(runs)
+    validate_runs(runs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
     results: Dict[int, RunResult] = {}

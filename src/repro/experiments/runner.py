@@ -43,7 +43,6 @@ class ExperimentResult:
 def run_scenario(
     config: ScenarioConfig,
     duration: float = 120.0,
-    mobility_factory=None,
     before_run: Optional[Callable[[BuiltScenario], None]] = None,
     during_run: Optional[Callable[[BuiltScenario], None]] = None,
 ) -> ExperimentResult:
@@ -52,9 +51,11 @@ def run_scenario(
     ``before_run`` is called after the scenario is built but before the
     simulation starts (e.g. to register QoS requirements); ``during_run``
     is called halfway through the run (e.g. to inject failures) -- the run
-    is split into two halves around it.
+    is split into two halves around it.  The mobility model is part of the
+    config (``ScenarioConfig.mobility``, a registered name), not a
+    side-channel argument, so the orchestrator's cache key captures it.
     """
-    scenario = build_scenario(config, mobility_factory)
+    scenario = build_scenario(config)
     if before_run is not None:
         before_run(scenario)
     scenario.start()
@@ -80,14 +81,14 @@ def sweep(
     values: Sequence[Any],
     duration: float = 120.0,
     extra_overrides: Optional[Dict[str, Any]] = None,
-    mobility_factory=None,
 ) -> List[ExperimentResult]:
     """Run the base scenario once per value of ``parameter``, in-process.
 
-    ``parameter`` must be a field of :class:`ScenarioConfig`; the swept
-    value is also attached to each result row under the parameter name.
-    The value grid is expanded by the orchestrator (one axis, one seed),
-    so ordering and per-run seeding match a parallel
+    ``parameter`` must be a field of :class:`ScenarioConfig` (dotted
+    section axes like ``"hvdb.dimension"`` included); the swept value is
+    also attached to each result row under the parameter name.  The value
+    grid is expanded by the orchestrator (one axis, one seed), so ordering
+    and per-run seeding match a parallel
     :func:`~repro.experiments.orchestrator.run_sweep` of the same grid;
     unlike ``run_sweep``, every returned result keeps its live scenario.
     """
@@ -105,11 +106,16 @@ def sweep(
     )
     results: List[ExperimentResult] = []
     for run in expand_spec(spec):
-        result = run_scenario(
-            run.config, duration=run.duration, mobility_factory=mobility_factory
-        )
-        results.append(result)
+        results.append(run_scenario(run.config, duration=run.duration))
     return results
+
+
+def _config_value(config: ScenarioConfig, name: str) -> Any:
+    """Read a plain or dotted (``section.field``) config attribute."""
+    value: Any = config
+    for part in name.split("."):
+        value = getattr(value, part)
+    return value
 
 
 def results_table(
@@ -117,11 +123,15 @@ def results_table(
     swept: Optional[str] = None,
     title: Optional[str] = None,
 ) -> str:
-    """Format a list of results as an aligned table (one row per run)."""
+    """Format a list of results as an aligned table (one row per run).
+
+    ``swept`` may be a dotted section axis (``"hvdb.dimension"``), same
+    as :func:`sweep`'s ``parameter``.
+    """
     rows = []
     for result in results:
         extra = {}
         if swept is not None:
-            extra[swept] = getattr(result.config, swept)
+            extra[swept] = _config_value(result.config, swept)
         rows.append(result.row(**extra))
     return format_table(rows, title)

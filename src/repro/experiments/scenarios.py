@@ -1,43 +1,66 @@
 """Scenario construction.
 
-A :class:`ScenarioConfig` fully describes one simulation run: deployment
-area, node count, radio range, mobility, multicast groups, traffic and the
-protocol under test.  :func:`build_scenario` turns it into a ready-to-run
-:class:`BuiltScenario` (network + sources + protocol-specific stack).
+A :class:`ScenarioConfig` fully describes one simulation run: a *core*
+section (deployment area, node count, motion, multicast workload, seed),
+the registered names of the pluggable components (``protocol``, ``radio``,
+``mac``, ``mobility``) and one typed per-protocol section per configurable
+stack (:class:`~repro.core.protocol.HVDBConfig`,
+:class:`~repro.baselines.sgm.SgmConfig`, ...).
+:func:`build_scenario` resolves every name through :mod:`repro.registry`
+and turns the config into a ready-to-run :class:`BuiltScenario` -- there
+is no protocol-specific branching here: the selected
+:class:`~repro.simulation.stack.ProtocolStack` installs itself and
+answers ``backbone_nodes()`` / ``aggregate_stats()`` uniformly.
+
+Sweep grids address the typed sections with dotted axes
+(``"hvdb.dimension"``, ``"dsm.position_period"``); see
+:func:`config_axis_names` for the full axis vocabulary.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
-from repro.baselines.dsm import DSM_PROTOCOL, DsmAgent
-from repro.baselines.flooding import FLOODING_PROTOCOL, FloodingMulticastAgent
-from repro.baselines.sgm import SGM_PROTOCOL, SgmAgent
-from repro.baselines.spbm import SPBM_PROTOCOL, SpbmAgent
-from repro.core.protocol import HVDB_PROTOCOL, HVDBParameters, HVDBStack
-from repro.core.qos import QoSRequirement
+from repro.baselines.dsm import DSM_PROTOCOL, DsmConfig
+from repro.baselines.flooding import FLOODING_PROTOCOL
+from repro.baselines.sgm import SGM_PROTOCOL, SgmConfig
+from repro.baselines.spbm import SPBM_PROTOCOL, SpbmConfig
+from repro.core.protocol import HVDB_PROTOCOL, HVDBConfig
 from repro.geo.area import Area
-from repro.mobility.base import MobilityModel
-from repro.mobility.random_waypoint import RandomWaypointMobility
-from repro.mobility.static import StaticMobility
+from repro.registry import MACS, MOBILITY_MODELS, PROTOCOL_STACKS, RADIOS, RegistryError
 from repro.simulation.groups import MulticastGroupManager
-from repro.simulation.mac import SimpleCsmaMac
 from repro.simulation.network import Network, NetworkConfig
 from repro.simulation.node import MobileNode
-from repro.simulation.radio import UnitDiskRadio
+from repro.simulation.stack import ProtocolStack
 from repro.simulation.traffic import CbrMulticastSource
-from repro.unicast.router import GEO_PROTOCOL, GeoUnicastAgent
 
-#: protocols the harness knows how to build
-PROTOCOLS = (HVDB_PROTOCOL, FLOODING_PROTOCOL, SGM_PROTOCOL, DSM_PROTOCOL, SPBM_PROTOCOL)
+#: the bundled protocol stacks.  A fixed literal, not a registry
+#: snapshot, so grids built on it (e.g. ``protocol_comparison``) expand
+#: identically in every process regardless of what third-party protocols
+#: happen to be imported -- the byte-identical shard/merge guarantee
+#: depends on that.  Third-party registrations extend the registry only.
+PROTOCOLS = (
+    HVDB_PROTOCOL,
+    FLOODING_PROTOCOL,
+    SGM_PROTOCOL,
+    DSM_PROTOCOL,
+    SPBM_PROTOCOL,
+)
 
 
 @dataclass
 class ScenarioConfig:
     """Complete description of one simulation run."""
 
+    # pluggable components, by registered name (see repro.registry)
     protocol: str = HVDB_PROTOCOL
+    radio: str = "unit_disk"
+    mac: str = "csma"
+    mobility: str = "random_waypoint"
+
+    # deployment and motion
     n_nodes: int = 100
     area_size: float = 2000.0           #: square area side length, metres
     radio_range: float = 250.0
@@ -54,93 +77,84 @@ class ScenarioConfig:
     payload_bytes: int = 512
     traffic_start: float = 30.0         #: warm-up before data traffic starts
 
-    # HVDB-specific structure
-    vc_cols: int = 8
-    vc_rows: int = 8
-    dimension: int = 4
-    clustering_interval: float = 2.0
-    hvdb_params: Optional[HVDBParameters] = None
-    qos_requirements: Dict[int, QoSRequirement] = field(default_factory=dict)
-
-    # baseline knobs
-    dsm_position_period: float = 15.0
-    spbm_levels: int = 3
+    # typed per-protocol sections (dotted grid axes: "hvdb.dimension", ...)
+    hvdb: HVDBConfig = field(default_factory=HVDBConfig)
+    sgm: SgmConfig = field(default_factory=SgmConfig)
+    dsm: DsmConfig = field(default_factory=DsmConfig)
+    spbm: SpbmConfig = field(default_factory=SpbmConfig)
 
     def area(self) -> Area:
         return Area(self.area_size, self.area_size)
 
 
+def config_axis_names() -> frozenset:
+    """Every name a sweep grid axis (or coupled override key) may use.
+
+    Plain :class:`ScenarioConfig` field names, plus ``section.field`` for
+    every field of each typed per-protocol section (any dataclass-valued
+    config field is a section).
+    """
+    names = set()
+    default = ScenarioConfig()
+    for config_field in dataclasses.fields(ScenarioConfig):
+        names.add(config_field.name)
+        value = getattr(default, config_field.name)
+        if dataclasses.is_dataclass(value):
+            names.update(
+                f"{config_field.name}.{sub.name}"
+                for sub in dataclasses.fields(value)
+            )
+    return frozenset(names)
+
+
 @dataclass
 class BuiltScenario:
-    """A ready-to-run scenario."""
+    """A ready-to-run scenario: network + workload + its protocol stack."""
 
     config: ScenarioConfig
     network: Network
     groups: MulticastGroupManager
     sources: List[CbrMulticastSource]
-    stack: Optional[HVDBStack] = None       #: only for the HVDB protocol
+    stack: ProtocolStack
 
     def start(self) -> None:
-        """Start clustering (if any) and the network."""
-        if self.stack is not None:
-            self.stack.start()
-        else:
-            self.network.start()
+        """Start the protocol stack (which starts the network)."""
+        self.stack.start()
 
     def run(self, duration: float) -> None:
-        if self.stack is not None and not self.network.simulator.processed_events:
+        """Start (if needed) and run for ``duration`` simulated seconds."""
+        if not self.network.started:
             self.start()
-            self.network.simulator.run(duration)
-        else:
-            self.network.run(duration)
+        self.network.simulator.run(duration)
 
-    def backbone_nodes(self) -> Optional[List[int]]:
-        if self.stack is not None:
-            return self.stack.model.cluster_heads()
-        return None
+    def backbone_nodes(self) -> "List[int] | None":
+        """Backbone node ids, or ``None`` for backbone-less protocols."""
+        return self.stack.backbone_nodes()
 
     def protocol_stats(self) -> Dict[str, int]:
-        if self.stack is not None:
-            return self.stack.aggregate_stats()
-        return {}
+        """Protocol counters aggregated over the network."""
+        return self.stack.aggregate_stats()
 
 
-def _make_mobility(config: ScenarioConfig, node_ids: Sequence[int]) -> MobilityModel:
-    area = config.area()
-    if config.max_speed <= 0:
-        return StaticMobility(area, node_ids, seed=config.seed)
-    return RandomWaypointMobility(
-        area,
-        node_ids,
-        min_speed=max(0.5, config.max_speed * 0.1),
-        max_speed=config.max_speed,
-        pause_time=config.pause_time,
-        seed=config.seed,
-    )
-
-
-def build_scenario(
-    config: ScenarioConfig,
-    mobility_factory: Optional[Callable[[ScenarioConfig, Sequence[int]], MobilityModel]] = None,
-) -> BuiltScenario:
+def build_scenario(config: ScenarioConfig) -> BuiltScenario:
     """Assemble a complete scenario for the configured protocol.
 
-    ``mobility_factory`` overrides the default random-waypoint mobility
-    (used e.g. by the group-mobility example).
+    Every pluggable component -- protocol stack, radio, MAC, mobility --
+    is resolved by registered name; an unknown name raises
+    :class:`~repro.registry.RegistryError` listing the alternatives.
     """
-    if config.protocol not in PROTOCOLS:
-        raise ValueError(f"unknown protocol {config.protocol!r}; choose one of {PROTOCOLS}")
+    stack_factory = PROTOCOL_STACKS.get(config.protocol)
+    mobility_factory = MOBILITY_MODELS.get(config.mobility)
+    radio = RADIOS.get(config.radio)(config)
+    mac = MACS.get(config.mac)(config)
+
     node_ids = list(range(config.n_nodes))
-    mobility = (
-        mobility_factory(config, node_ids)
-        if mobility_factory is not None
-        else _make_mobility(config, node_ids)
-    )
+    mobility = mobility_factory(config, node_ids)
     network = Network(
         NetworkConfig(
             area=config.area(),
-            radio=UnitDiskRadio(config.radio_range),
-            mac=SimpleCsmaMac(),
+            radio=radio,
+            mac=mac,
             mobility_step=config.mobility_step,
             seed=config.seed,
         ),
@@ -149,31 +163,23 @@ def build_scenario(
     for node_id in node_ids:
         network.add_node(MobileNode(node_id))
 
-    stack: Optional[HVDBStack] = None
-    if config.protocol == HVDB_PROTOCOL:
-        stack = HVDBStack(
-            network,
-            vc_cols=config.vc_cols,
-            vc_rows=config.vc_rows,
-            dimension=config.dimension,
-            params=config.hvdb_params,
-            clustering_interval=config.clustering_interval,
-            qos_requirements=config.qos_requirements,
-            seed=config.seed,
+    stack = stack_factory()
+    stack.install(network, config)
+    # fail here, not at traffic_start deep in the event loop, if the
+    # stack's agents do not actually speak the registered protocol name
+    # (traffic sources address agents by config.protocol)
+    missing = [
+        node_id
+        for node_id, node in network.nodes.items()
+        if not node.has_agent(config.protocol)
+    ]
+    if missing:
+        raise RegistryError(
+            f"protocol stack registered as {config.protocol!r} "
+            f"({type(stack).__name__}) attached no agent speaking "
+            f"{config.protocol!r} on node(s) {missing[:3]}; its agents "
+            f"must set protocol_name = {config.protocol!r}"
         )
-        stack.install_agents()
-    else:
-        for node in network.nodes.values():
-            if config.protocol in (SGM_PROTOCOL, SPBM_PROTOCOL):
-                node.attach_agent(GeoUnicastAgent())
-            if config.protocol == FLOODING_PROTOCOL:
-                node.attach_agent(FloodingMulticastAgent())
-            elif config.protocol == SGM_PROTOCOL:
-                node.attach_agent(SgmAgent())
-            elif config.protocol == DSM_PROTOCOL:
-                node.attach_agent(DsmAgent(config.dsm_position_period))
-            elif config.protocol == SPBM_PROTOCOL:
-                node.attach_agent(SpbmAgent(levels=config.spbm_levels))
 
     groups = MulticastGroupManager(network, seed=config.seed + 1)
     sources: List[CbrMulticastSource] = []
@@ -182,13 +188,17 @@ def build_scenario(
         members = groups.create_random_group(
             group_id, min(config.group_size, config.n_nodes), candidates=node_ids
         )
-        source_pool = [n for n in node_ids]
+        if config.sources_per_group > len(members):
+            raise ValueError(
+                f"sources_per_group={config.sources_per_group} exceeds the "
+                f"{len(members)} member(s) of group {group_id}; raise "
+                "group_size (sources are distinct group members)"
+            )
         for s in range(config.sources_per_group):
-            source_node = members[s % len(members)] if members else source_pool[0]
             sources.append(
                 CbrMulticastSource(
                     network,
-                    source_node=source_node,
+                    source_node=members[s],
                     group=group_id,
                     protocol_name=config.protocol,
                     interval=config.traffic_interval,

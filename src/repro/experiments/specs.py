@@ -21,8 +21,9 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
+from repro.baselines.dsm import DsmConfig
 from repro.core.membership import BroadcasterCriterion
-from repro.core.protocol import HVDBParameters
+from repro.core.protocol import HVDBConfig, HVDBParameters, HVDBStack
 from repro.core.qos import QoSRequirement, qos_satisfaction_ratio
 from repro.experiments.orchestrator import SweepSpec, register_collector, register_hook
 from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig
@@ -75,10 +76,13 @@ E5_FAIL_FRACTIONS = (0.1, 0.2, 0.4)
 
 def _make_ch_failure_hook(fraction: float):
     def fail_cluster_heads(scenario) -> None:
-        if scenario.stack is not None:
-            pool = scenario.stack.model.cluster_heads()
-        else:
-            pool = sorted(scenario.network.nodes.keys())
+        # backbone protocols lose cluster heads (possibly none, if the
+        # backbone is transiently empty); backbone-less ones lose the
+        # same fraction of arbitrary nodes
+        backbone = scenario.backbone_nodes()
+        pool = backbone if backbone is not None else sorted(scenario.network.nodes.keys())
+        if not pool:
+            return
         count = max(1, int(fraction * len(pool)))
         victims = pool[:: max(1, len(pool) // count)][:count]
         scenario.network.fail_nodes(victims)
@@ -157,7 +161,7 @@ def _membership_changes(result) -> Dict[str, float]:
 def _hypercube_structure(result) -> Dict[str, float]:
     """Backbone-shape figures from the live HVDB model (experiment A1)."""
     stack = result.scenario.stack
-    if stack is None:
+    if not isinstance(stack, HVDBStack):
         return {}
     summary = stack.model.backbone_summary()
     return {"possible_hypercubes": int(summary["possible_hypercubes"])}
@@ -200,9 +204,7 @@ register_spec(
             n_groups=1,
             group_size=10,
             traffic_interval=1.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
         ),
         grid={},
         seeds=(7,),
@@ -224,10 +226,8 @@ register_spec(
             group_size=12,
             traffic_interval=1.0,
             traffic_start=30.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
-            dsm_position_period=15.0,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
+            dsm=DsmConfig(position_period=15.0),
         ),
         grid={"protocol": list(PROTOCOLS)},
         seeds=(31,),
@@ -263,9 +263,7 @@ register_spec(
             max_speed=4.0,
             traffic_interval=1.0,
             traffic_start=30.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
         ),
         grid={
             "n_nodes": [_e2_axis(n) for n in (60, 120, 200)],
@@ -288,10 +286,8 @@ register_spec(
             group_size=8,
             traffic_interval=2.0,
             traffic_start=40.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
-            dsm_position_period=15.0,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
+            dsm=DsmConfig(position_period=15.0),
         ),
         grid={
             "n_nodes": [60, 120],
@@ -316,9 +312,7 @@ register_spec(
             group_size=10,
             traffic_interval=1.0,
             traffic_start=30.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
         ),
         grid={
             "protocol": ["hvdb", "flooding"],
@@ -342,9 +336,7 @@ register_spec(
             group_size=12,
             traffic_interval=0.5,
             traffic_start=25.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
         ),
         grid={
             "protocol": ["hvdb", "flooding"],
@@ -366,11 +358,13 @@ _E8_BASE = ScenarioConfig(
     group_size=10,
     traffic_interval=1.0,
     traffic_start=30.0,
-    vc_cols=8,
-    vc_rows=8,
-    dimension=4,
-    hvdb_params=HVDBParameters(
-        broadcaster_criterion=BroadcasterCriterion.NEIGHBORHOOD_MEMBERS
+    hvdb=HVDBConfig(
+        vc_cols=8,
+        vc_rows=8,
+        dimension=4,
+        params=HVDBParameters(
+            broadcaster_criterion=BroadcasterCriterion.NEIGHBORHOOD_MEMBERS
+        ),
     ),
 )
 
@@ -399,7 +393,7 @@ register_spec(
             "criterion": [
                 {
                     "criterion": criterion.value,
-                    "hvdb_params": HVDBParameters(broadcaster_criterion=criterion),
+                    "hvdb.params": HVDBParameters(broadcaster_criterion=criterion),
                 }
                 for criterion in BroadcasterCriterion
             ],
@@ -424,10 +418,9 @@ register_spec(
             group_size=12,
             traffic_interval=1.0,
             traffic_start=30.0,
-            vc_cols=8,
-            vc_rows=8,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8),
         ),
-        grid={"dimension": [2, 3, 4, 6]},
+        grid={"hvdb.dimension": [2, 3, 4, 6]},
         seeds=(47,),
         duration=90.0,
         collector="hypercube_structure",
@@ -467,13 +460,11 @@ register_spec(
             group_size=10,
             traffic_interval=1.0,
             traffic_start=30.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
         ),
         grid={
             "variant": [
-                {"variant": name, "hvdb_params": params}
+                {"variant": name, "hvdb.params": params}
                 for name, params in A2_VARIANTS.items()
             ],
         },
@@ -497,10 +488,12 @@ register_spec(
             group_size=10,
             traffic_interval=0.5,
             traffic_start=30.0,
-            vc_cols=8,
-            vc_rows=8,
-            dimension=4,
-            qos_requirements={1: QOS_DELAY_BOUND},
+            hvdb=HVDBConfig(
+                vc_cols=8,
+                vc_rows=8,
+                dimension=4,
+                qos_requirements={1: QOS_DELAY_BOUND},
+            ),
         ),
         grid={"sources_per_group": [1, 3, 6, 10]},
         seeds=(41,),

@@ -16,8 +16,16 @@ packet-level simulation substrate every experiment runs on:
   radio + MAC + neighbour discovery + delivery bookkeeping.
 * :mod:`repro.simulation.agent` -- the protocol-agent interface all
   multicast protocols (HVDB and baselines) implement.
+* :mod:`repro.simulation.stack` -- the pluggable
+  :class:`~repro.simulation.stack.ProtocolStack` interface scenario
+  assembly resolves through :mod:`repro.registry` (plus the
+  one-agent-per-node :class:`~repro.simulation.stack.AgentStack` base).
 * :mod:`repro.simulation.traffic` -- CBR / Poisson multicast sources.
 * :mod:`repro.simulation.groups` -- multicast group membership with churn.
+
+Radio and MAC models are registered by name (``unit_disk`` /
+``log_distance``, ``csma`` / ``ideal``) so scenarios select them
+declaratively and sweep grids can use them as axes.
 """
 
 from repro.simulation.engine import Simulator, Event, PeriodicTimer
@@ -27,6 +35,7 @@ from repro.simulation.mac import MacModel, SimpleCsmaMac
 from repro.simulation.node import MobileNode, NodeStats
 from repro.simulation.network import Network, NetworkConfig
 from repro.simulation.agent import ProtocolAgent
+from repro.simulation.stack import ProtocolStack, AgentStack
 from repro.simulation.traffic import CbrMulticastSource, PoissonMulticastSource
 from repro.simulation.groups import MulticastGroupManager, GroupEvent
 
@@ -46,6 +55,8 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "ProtocolAgent",
+    "ProtocolStack",
+    "AgentStack",
     "CbrMulticastSource",
     "PoissonMulticastSource",
     "MulticastGroupManager",

@@ -8,6 +8,10 @@ frame size / bandwidth, queueing approximated by a contention factor that
 scales with the number of neighbours currently contending, plus a constant
 propagation/processing delay and an independent loss probability on top of
 whatever the radio model decides.
+
+Both models are registered with :func:`repro.registry.register_mac`
+(``csma`` and ``ideal``), so a scenario selects its link layer by name
+(``ScenarioConfig.mac``) and grids can sweep it like any other axis.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.registry import register_mac
 
 
 class MacModel(abc.ABC):
@@ -93,3 +99,15 @@ class IdealMac(MacModel):
 
     def loss_probability(self, contenders: int) -> float:
         return 0.0
+
+
+@register_mac("csma")
+def _csma_mac(config=None) -> SimpleCsmaMac:
+    """Registered factory: the CSMA-flavoured MAC with default parameters."""
+    return SimpleCsmaMac()
+
+
+@register_mac("ideal")
+def _ideal_mac(config=None) -> IdealMac:
+    """Registered factory: loss-free constant-delay MAC (structural studies)."""
+    return IdealMac()

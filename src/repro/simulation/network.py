@@ -16,24 +16,45 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.geo.area import Area
 from repro.geo.geometry import Point, Vector
 from repro.mobility.base import MobilityModel
+from repro.registry import MACS, RADIOS
 from repro.simulation.engine import PeriodicTimer, Simulator
-from repro.simulation.mac import MacModel, SimpleCsmaMac
+from repro.simulation.mac import MacModel
 from repro.simulation.node import MobileNode
 from repro.simulation.packet import Packet, PacketKind
-from repro.simulation.radio import RadioModel, UnitDiskRadio
+from repro.simulation.radio import RadioModel
+
+#: registered names resolved when a NetworkConfig omits radio/mac
+DEFAULT_RADIO = "unit_disk"
+DEFAULT_MAC = "csma"
 
 
 @dataclass
 class NetworkConfig:
-    """Static configuration of a simulated network."""
+    """Static configuration of a simulated network.
+
+    ``radio`` and ``mac`` are model *instances* (scenario assembly builds
+    them from the registered names in ``ScenarioConfig``); left unset,
+    they resolve through the :mod:`repro.registry` defaults
+    (:data:`DEFAULT_RADIO` / :data:`DEFAULT_MAC`) rather than hard-coding
+    any concrete class here.
+    """
 
     area: Area
-    radio: RadioModel = field(default_factory=UnitDiskRadio)
-    mac: MacModel = field(default_factory=SimpleCsmaMac)
+    radio: Optional[RadioModel] = None
+    mac: Optional[MacModel] = None
     mobility_step: float = 1.0       #: seconds between mobility updates
     seed: Optional[int] = None       #: seed for loss/jitter randomness
     max_packet_hops: int = 64        #: safety TTL on physical hops
     unicast_retries: int = 3         #: link-layer ARQ attempts for unicast frames
+
+    def __post_init__(self) -> None:
+        # bootstrap=False: the default entries are registered by
+        # radio.py/mac.py, imported above -- resolving them must not pull
+        # the experiments layer into bare simulation-object construction
+        if self.radio is None:
+            self.radio = RADIOS.get(DEFAULT_RADIO, bootstrap=False)(None)
+        if self.mac is None:
+            self.mac = MACS.get(DEFAULT_MAC, bootstrap=False)(None)
 
 
 @dataclass
@@ -191,6 +212,11 @@ class Network:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` has run (agents notified, mobility ticking)."""
+        return self._started
+
     def start(self) -> None:
         """Start mobility updates and notify every agent."""
         if self._started:

@@ -4,6 +4,11 @@
 range of each other" (paper Section 1) -- the unit-disk model.  A
 log-distance shadowing model is also provided for sensitivity experiments
 where connectivity is probabilistic near the nominal range edge.
+
+Both models are registered with :func:`repro.registry.register_radio`
+(``unit_disk`` and ``log_distance``), so a scenario selects its radio by
+name (``ScenarioConfig.radio``) and grids can sweep it like any other
+axis.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import math
 from typing import Optional
 
 from repro.geo.geometry import Point, distance
+from repro.registry import register_radio
 
 
 class RadioModel(abc.ABC):
@@ -100,3 +106,15 @@ class LogDistanceRadio(RadioModel):
         # give a narrower grey zone.
         frac = (d - reliable) / (cutoff - reliable)
         return max(0.0, min(1.0, (1.0 - frac) ** self.exponent))
+
+
+@register_radio("unit_disk")
+def _unit_disk_radio(config=None) -> UnitDiskRadio:
+    """Registered factory: deterministic unit disk at ``config.radio_range``."""
+    return UnitDiskRadio() if config is None else UnitDiskRadio(config.radio_range)
+
+
+@register_radio("log_distance")
+def _log_distance_radio(config=None) -> LogDistanceRadio:
+    """Registered factory: log-distance shadowing at ``config.radio_range``."""
+    return LogDistanceRadio() if config is None else LogDistanceRadio(config.radio_range)

@@ -1,0 +1,109 @@
+"""The pluggable protocol-stack interface scenario assembly builds on.
+
+A :class:`ProtocolStack` owns everything one multicast protocol needs on
+top of a bare :class:`~repro.simulation.network.Network`: per-node agents,
+any shared state (the HVDB stack wires clustering, the logical address
+space and the backbone model), and the protocol-level reporting seams the
+experiment harness consumes (``backbone_nodes`` for the backbone
+load-balance view, ``aggregate_stats`` for protocol counters).
+
+Stacks are registered by name through
+:func:`repro.registry.register_protocol`;
+:func:`~repro.experiments.scenarios.build_scenario` resolves
+``ScenarioConfig.protocol`` against that registry, instantiates the stack
+with no arguments and calls :meth:`ProtocolStack.install` -- so adding a
+protocol to every sweep, benchmark and CLI surface is one decorated class,
+no harness edits.
+
+:class:`AgentStack` is the convenience base for the common
+"one agent per node" shape every baseline has: subclasses implement
+:meth:`AgentStack.make_agent` and declare the integer counters to sum in
+:attr:`AgentStack.stat_fields`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.agent import ProtocolAgent
+    from repro.simulation.network import Network
+
+
+class ProtocolStack(abc.ABC):
+    """Everything one protocol contributes to a built scenario.
+
+    Lifecycle: ``stack = StackClass()`` then ``stack.install(network,
+    config)`` (``config`` is the ``ScenarioConfig``, or ``None`` when a
+    test wires the stack directly), then ``stack.start()`` once the
+    scenario should begin.  The default ``start`` just starts the network;
+    stacks with their own services (e.g. clustering) override it.
+    """
+
+    #: registered protocol name; also the ``Packet.protocol`` the stack's
+    #: agents speak and the name traffic sources address
+    name: ClassVar[str] = ""
+
+    network: Optional["Network"] = None
+
+    @abc.abstractmethod
+    def install(self, network: "Network", config: Optional[Any] = None) -> None:
+        """Attach agents (and any shared state) to every node of ``network``."""
+
+    def start(self) -> None:
+        """Start the network (and any protocol-owned services)."""
+        assert self.network is not None, "install() must run before start()"
+        self.network.start()
+
+    def backbone_nodes(self) -> Optional[List[int]]:
+        """Backbone node ids, or ``None`` for protocols without a backbone."""
+        return None
+
+    def aggregate_stats(self) -> Dict[str, int]:
+        """Protocol counters summed over the whole network."""
+        return {}
+
+
+class AgentStack(ProtocolStack):
+    """A stack that is exactly one protocol agent per node.
+
+    Subclasses implement :meth:`make_agent` and list their agents' integer
+    counter attributes in :attr:`stat_fields`; ``aggregate_stats`` sums
+    those over every node.  Stacks whose agents ride on the geographic
+    unicast substrate set :attr:`uses_geo_unicast` and get a
+    :class:`~repro.unicast.router.GeoUnicastAgent` installed underneath.
+    """
+
+    #: integer attributes of the per-node agent summed by ``aggregate_stats``
+    stat_fields: ClassVar[Tuple[str, ...]] = ()
+    #: install a geo-unicast agent under the protocol agent on every node
+    uses_geo_unicast: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        self.network = None
+        self.agents: Dict[int, "ProtocolAgent"] = {}
+
+    @abc.abstractmethod
+    def make_agent(self, config: Optional[Any] = None) -> "ProtocolAgent":
+        """Build one per-node agent from the scenario config (or defaults)."""
+
+    def install(self, network: "Network", config: Optional[Any] = None) -> None:
+        # local import: unicast builds on simulation, so importing it at
+        # module load would invert the layering
+        from repro.unicast.router import GEO_PROTOCOL, GeoUnicastAgent
+
+        self.network = network
+        for node in network.nodes.values():
+            if self.uses_geo_unicast and not node.has_agent(GEO_PROTOCOL):
+                node.attach_agent(GeoUnicastAgent())
+            agent = self.make_agent(config)
+            node.attach_agent(agent)
+            self.agents[node.node_id] = agent
+
+    def aggregate_stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {name: 0 for name in self.stat_fields}
+        for agent in self.agents.values():
+            for name in self.stat_fields:
+                totals[name] += getattr(agent, name)
+        return totals

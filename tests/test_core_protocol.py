@@ -38,7 +38,6 @@ def build_hvdb_network(
     for node_id in node_ids:
         network.add_node(MobileNode(node_id, ch_capable=node_id not in set(non_ch_nodes)))
     stack = HVDBStack(
-        network,
         vc_cols=vc[0],
         vc_rows=vc[1],
         dimension=dimension,
@@ -46,7 +45,7 @@ def build_hvdb_network(
         clustering_interval=2.0,
         seed=1,
     )
-    stack.install_agents()
+    stack.install(network)
     return network, stack
 
 

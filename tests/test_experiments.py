@@ -4,10 +4,11 @@ import dataclasses
 
 import pytest
 
-from repro.baselines.flooding import FLOODING_PROTOCOL
-from repro.core.protocol import HVDB_PROTOCOL
+from repro.baselines.flooding import FLOODING_PROTOCOL, FloodingStack
+from repro.core.protocol import HVDB_PROTOCOL, HVDBConfig, HVDBStack
 from repro.experiments.runner import results_table, run_scenario, sweep
 from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig, build_scenario
+from repro.simulation.stack import ProtocolStack
 
 
 def tiny_config(protocol=HVDB_PROTOCOL, **overrides):
@@ -20,9 +21,7 @@ def tiny_config(protocol=HVDB_PROTOCOL, **overrides):
         group_size=5,
         traffic_start=15.0,
         traffic_interval=2.0,
-        vc_cols=8,
-        vc_rows=8,
-        dimension=4,
+        hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
         seed=5,
     )
     return dataclasses.replace(base, **overrides)
@@ -30,7 +29,7 @@ def tiny_config(protocol=HVDB_PROTOCOL, **overrides):
 
 class TestScenarioBuilding:
     def test_unknown_protocol_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="registered protocols"):
             build_scenario(tiny_config(protocol="nonexistent"))
 
     @pytest.mark.parametrize("protocol", PROTOCOLS)
@@ -38,19 +37,27 @@ class TestScenarioBuilding:
         scenario = build_scenario(tiny_config(protocol=protocol))
         assert len(scenario.network.nodes) == 30
         assert scenario.sources
+        assert isinstance(scenario.stack, ProtocolStack)
+        assert scenario.stack.name == protocol
         for node in scenario.network.nodes.values():
             assert node.has_agent(protocol)
 
-    def test_hvdb_scenario_has_stack(self):
+    def test_hvdb_scenario_reports_backbone(self):
         scenario = build_scenario(tiny_config())
-        assert scenario.stack is not None
+        assert isinstance(scenario.stack, HVDBStack)
         assert scenario.backbone_nodes() is not None
 
-    def test_baseline_scenario_has_no_stack(self):
+    def test_baseline_scenario_uniform_interface(self):
+        # no special case: baselines answer the same stack interface,
+        # with no backbone but real aggregate stats
         scenario = build_scenario(tiny_config(protocol=FLOODING_PROTOCOL))
-        assert scenario.stack is None
+        assert isinstance(scenario.stack, FloodingStack)
         assert scenario.backbone_nodes() is None
-        assert scenario.protocol_stats() == {}
+        assert set(scenario.protocol_stats()) == {"data_originated", "rebroadcasts"}
+
+    def test_too_many_sources_rejected(self):
+        with pytest.raises(ValueError, match="sources_per_group"):
+            build_scenario(tiny_config(group_size=3, sources_per_group=4))
 
     def test_groups_created_with_requested_size(self):
         scenario = build_scenario(tiny_config(n_groups=2, group_size=4))

@@ -6,7 +6,7 @@ import dataclasses
 
 import pytest
 
-from repro.core.protocol import HVDB_PROTOCOL
+from repro.core.protocol import HVDB_PROTOCOL, HVDBConfig
 from repro.core.qos import QoSRequirement
 from repro.experiments.runner import run_scenario, sweep
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
@@ -24,9 +24,7 @@ BASE = ScenarioConfig(
     group_size=8,
     traffic_start=25.0,
     traffic_interval=1.0,
-    vc_cols=8,
-    vc_rows=8,
-    dimension=4,
+    hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
     seed=11,
 )
 
@@ -74,7 +72,10 @@ class TestHvdbEndToEnd:
 
     def test_qos_requirement_mostly_satisfied_in_modest_network(self):
         config = dataclasses.replace(
-            BASE, qos_requirements={1: QoSRequirement(max_delay=1.0)}
+            BASE,
+            hvdb=dataclasses.replace(
+                BASE.hvdb, qos_requirements={1: QoSRequirement(max_delay=1.0)}
+            ),
         )
         result = run_scenario(config, duration=80.0)
         delivery = result.report.delivery
@@ -142,10 +143,10 @@ class TestSweepsSmoke:
     def test_dimension_sweep_runs(self):
         results = sweep(
             dataclasses.replace(BASE, traffic_interval=2.0),
-            parameter="dimension",
+            parameter="hvdb.dimension",
             values=[2, 4],
             duration=50.0,
         )
-        assert [r.config.dimension for r in results] == [2, 4]
+        assert [r.config.hvdb.dimension for r in results] == [2, 4]
         for result in results:
             assert 0.0 <= result.report.delivery.delivery_ratio <= 1.0

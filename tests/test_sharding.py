@@ -164,20 +164,20 @@ class TestHookAndLabelAxes:
     def test_label_axis_records_only_the_label(self):
         params_obj = HVDBParameters(max_logical_hops=2)
         spec = tiny_spec(
-            grid={"variant": [{"variant": "k2", "hvdb_params": params_obj}]},
+            grid={"variant": [{"variant": "k2", "hvdb.params": params_obj}]},
             seeds=(1,),
         )
         (run,) = expand_spec(spec)
         assert run.params == {"variant": "k2"}
-        assert run.config.hvdb_params is params_obj
+        assert run.config.hvdb.params is params_obj
         assert run.run_id == "tiny/variant=k2/seed=1"
 
     def test_label_axis_distinguishes_cache_keys(self):
         spec = tiny_spec(
             grid={
                 "variant": [
-                    {"variant": "k2", "hvdb_params": HVDBParameters(max_logical_hops=2)},
-                    {"variant": "k6", "hvdb_params": HVDBParameters(max_logical_hops=6)},
+                    {"variant": "k2", "hvdb.params": HVDBParameters(max_logical_hops=2)},
+                    {"variant": "k6", "hvdb.params": HVDBParameters(max_logical_hops=6)},
                 ]
             },
             seeds=(1,),
