@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench docs-check sweeps protocols protocol-coverage check ci
+.PHONY: test bench-smoke adaptive-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
 
 ## tier-1 test suite (fast, deterministic) -- must stay green
 test:
@@ -16,14 +16,25 @@ test:
 bench-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_s0_orchestrator_smoke.py
 
+## seconds-long end-to-end check of adaptive seed replication: the
+## smoke_adaptive sweep through per-point CI stopping, plus the
+## zero-executions-on-warm-cache invariant, under pytest
+adaptive-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_s1_adaptive_smoke.py
+
 ## full benchmark suite regenerating the paper's evaluation (minutes)
 bench:
 	$(PYTHON) -m pytest -q benchmarks/
 
-## documentation consistency: docs exist, README matches the shipped CLI,
-## every package docstring matches its actual exports
+## documentation consistency: the docs suite exists, intra-repo links
+## resolve, README + docs/ match the shipped CLI, quoted sweep/make
+## commands reference real things, package docstrings match exports
 docs-check:
 	$(PYTHON) scripts/check_docs.py
+
+## just the intra-repo link check (the dedicated CI step)
+docs-links:
+	$(PYTHON) scripts/check_docs.py --links
 
 ## list the registered experiment sweeps
 sweeps:
@@ -38,13 +49,15 @@ protocol-coverage:
 	$(PYTHON) -m repro.experiments protocols --check-coverage
 
 ## everything a PR must keep green
-check: test bench-smoke docs-check protocol-coverage
+check: test bench-smoke adaptive-smoke docs-check protocol-coverage
 
 ## reproduce the CI pipeline (.github/workflows/ci.yml) locally:
-## tier-1 tests, docs consistency, the smoke sweep split across three
-## share-nothing shards, a merge that must reassemble the full grid,
-## and a wall-time diff against the committed baseline (loose tolerance
-## across machines) plus a strict gate on a synthetic 2x regression
+## tier-1 tests, docs consistency (links included), the smoke sweep
+## split across three share-nothing shards, a merge that must
+## reassemble the full grid, a wall-time diff against the committed
+## baseline (loose tolerance across machines) plus a strict gate on a
+## synthetic 2x regression, and the adaptive smoke sweep (run + a
+## warm-cache re-run that must execute zero runs)
 CI_DIR := .ci
 ci: test docs-check protocol-coverage
 	rm -rf $(CI_DIR)
@@ -67,4 +80,10 @@ ci: test docs-check protocol-coverage
 	  --current $(CI_DIR)/artifacts/smoke-2x.json --tolerance 0.5; \
 	  status=$$?; if [ $$status -ne 1 ]; then \
 	    echo "perf gate: expected exit 1 (regression) on the synthetic 2x slowdown, got $$status"; exit 1; fi
-	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf)"
+	$(PYTHON) -m repro.experiments run smoke_adaptive \
+	  --cache-dir $(CI_DIR)/adaptive --format none
+	$(PYTHON) -m repro.experiments run smoke_adaptive \
+	  --cache-dir $(CI_DIR)/adaptive --format none \
+	  | grep -q "; 0 executed +" \
+	  || { echo "adaptive gate: warm-cache re-run executed runs (expected 0)"; exit 1; }
+	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive)"

@@ -3,15 +3,26 @@
 
 Fails (exit code 1) if documentation has drifted from the code:
 
-1. required docs exist (README.md, docs/architecture.md);
-2. README documents every CLI subcommand the shipped parser actually has,
-   and every registered sweep-spec/make-target mentioned exists;
-3. every module under ``src/repro`` has a module docstring;
-4. every package ``__init__`` resolves its declared ``__all__`` (imports
+1. required docs exist (README.md plus the docs/ suite: architecture
+   overview, orchestrator, sharding-and-ci, protocol-registry,
+   experiments-guide);
+2. every intra-repo markdown link in README/docs resolves (the docs
+   suite cross-references itself page to page; a split or rename must
+   not leave dangling links);
+3. README documents every CLI subcommand the shipped parser actually
+   has, and the docs/ pages collectively document every subcommand too;
+4. every ``python -m repro.experiments <sub> <sweep>`` command quoted in
+   a doc uses a real subcommand and a registered sweep name, and every
+   ``make <target>`` mentioned exists in the Makefile -- the
+   experiments-guide walkthrough must stay copy-pasteable;
+5. every module under ``src/repro`` has a module docstring;
+6. every package ``__init__`` resolves its declared ``__all__`` (imports
    that silently rot are the most common docstring drift);
-5. every submodule a package docstring mentions (``:mod:`repro...```)
+7. every submodule a package docstring mentions (``:mod:`repro...```)
    actually exists;
-6. docs mention no repo files that do not exist (DESIGN.md-style drift).
+8. docs mention no repo files that do not exist (DESIGN.md-style drift).
+
+``--links`` runs only the intra-repo link check (the dedicated CI step).
 """
 
 from __future__ import annotations
@@ -28,39 +39,165 @@ sys.path.insert(0, SRC)
 
 ERRORS: list = []
 
+#: the docs suite every checkout must ship
+REQUIRED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/orchestrator.md",
+    "docs/sharding-and-ci.md",
+    "docs/protocol-registry.md",
+    "docs/experiments-guide.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+)
+
+#: subcommands that take a sweep name as their first positional argument
+SWEEP_TAKING = ("run", "resume", "export", "merge", "perf")
+
 
 def error(message: str) -> None:
     ERRORS.append(message)
     print(f"docs-check: FAIL: {message}")
 
 
+def doc_pages() -> list:
+    """README.md plus every markdown page under docs/, as absolute paths."""
+    pages = [os.path.join(ROOT, "README.md")]
+    docs_dir = os.path.join(ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        pages.extend(
+            os.path.join(docs_dir, name)
+            for name in sorted(os.listdir(docs_dir))
+            if name.endswith(".md")
+        )
+    return [p for p in pages if os.path.isfile(p)]
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _rel(path: str) -> str:
+    return os.path.relpath(path, ROOT)
+
+
 def check_required_docs() -> None:
-    for rel in ("README.md", "docs/architecture.md", "ROADMAP.md", "CHANGES.md"):
+    for rel in REQUIRED_DOCS:
         if not os.path.isfile(os.path.join(ROOT, rel)):
             error(f"required doc missing: {rel}")
+
+
+_LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+
+
+def check_intra_repo_links() -> None:
+    """Every relative markdown link in README/docs must resolve."""
+    for path in doc_pages():
+        for target in _LINK.findall(_read(path)):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel_target = target.split("#", 1)[0]
+            if not rel_target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), rel_target)
+            )
+            if not os.path.exists(resolved):
+                error(f"{_rel(path)} links to {target!r} which does not exist")
+
+
+def _cli_subcommands() -> list:
+    from repro.experiments.__main__ import _build_parser
+
+    parser = _build_parser()
+    for action in parser._actions:  # argparse keeps subparsers here
+        if hasattr(action, "choices") and action.choices:
+            return list(action.choices)
+    return []
 
 
 def check_readme_matches_cli() -> None:
     readme_path = os.path.join(ROOT, "README.md")
     if not os.path.isfile(readme_path):
         return
-    with open(readme_path, encoding="utf-8") as fh:
-        readme = fh.read()
-
-    from repro.experiments.__main__ import _build_parser
-
-    parser = _build_parser()
-    subcommands = []
-    for action in parser._actions:  # argparse keeps subparsers here
-        if hasattr(action, "choices") and action.choices:
-            subcommands = list(action.choices)
-    for command in subcommands:
+    readme = _read(readme_path)
+    for command in _cli_subcommands():
         if f"python -m repro.experiments {command}" not in readme:
             error(f"README does not document CLI subcommand {command!r}")
-
     for target in ("make test", "make bench-smoke", "make docs-check"):
         if target not in readme:
             error(f"README does not mention {target!r}")
+
+
+def check_docs_cover_cli() -> None:
+    """The docs/ pages, collectively, document every CLI subcommand."""
+    pages = [p for p in doc_pages() if os.path.basename(os.path.dirname(p)) == "docs"]
+    if not pages:
+        return
+    corpus = "\n".join(_read(p) for p in pages)
+    for command in _cli_subcommands():
+        if f"python -m repro.experiments {command}" not in corpus:
+            error(f"no docs/ page documents CLI subcommand {command!r}")
+
+
+#: a quoted CLI command; separators are same-line only, so prose after a
+#: line break ("...experiments run` to execute\nsmoke tests") is never
+#: mis-parsed as a sweep argument
+_CLI_REF = re.compile(r"python -m repro\.experiments[ \t]+([\w-]+)(?:[ \t]+(?!-)([\w.-]+))?")
+_MAKE_INLINE = re.compile(r"`make ([a-zA-Z][\w-]*)")
+_MAKE_COMMAND = re.compile(r"^\s*\$?\s*make ([a-zA-Z][\w-]*)")
+
+
+def _make_refs(text: str) -> list:
+    """Make targets referenced in code contexts of a markdown page.
+
+    Inline code (```make x```) and command lines inside fenced code
+    blocks count; prose that merely starts a line with "make sure ..."
+    does not.
+    """
+    refs = _MAKE_INLINE.findall(text)
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            match = _MAKE_COMMAND.match(line)
+            if match:
+                refs.append(match.group(1))
+    return refs
+_MAKE_TARGET = re.compile(r"^([a-zA-Z][\w-]*):", re.MULTILINE)
+
+
+def check_quoted_commands() -> None:
+    """Quoted CLI/make commands must reference things that exist.
+
+    The experiments-guide sells its commands as copy-pasteable; a renamed
+    sweep or dropped make target must fail this check, not a reader.
+    """
+    subcommands = set(_cli_subcommands())
+    from repro.experiments.specs import SPECS
+
+    makefile = os.path.join(ROOT, "Makefile")
+    targets = set(_MAKE_TARGET.findall(_read(makefile))) if os.path.isfile(makefile) else set()
+
+    for path in doc_pages():
+        text = _read(path)
+        for sub, arg in _CLI_REF.findall(text):
+            if sub not in subcommands:
+                error(
+                    f"{_rel(path)} quotes unknown subcommand "
+                    f"'python -m repro.experiments {sub}'"
+                )
+            elif arg and sub in SWEEP_TAKING and arg not in SPECS:
+                error(
+                    f"{_rel(path)} quotes 'python -m repro.experiments {sub} "
+                    f"{arg}' but {arg!r} is not a registered sweep"
+                )
+        for target in _make_refs(text):
+            if target not in targets:
+                error(f"{_rel(path)} mentions 'make {target}' which is not a Makefile target")
 
 
 def iter_modules() -> list:
@@ -103,20 +240,25 @@ def check_package_exports() -> None:
 
 def check_no_phantom_files() -> None:
     pattern = re.compile(r"\b([A-Z]{2,}[A-Z_]*\.md)\b")
-    for rel in ("README.md", "docs/architecture.md"):
-        path = os.path.join(ROOT, rel)
-        if not os.path.isfile(path):
-            continue
-        with open(path, encoding="utf-8") as fh:
-            text = fh.read()
-        for mentioned in set(pattern.findall(text)):
+    for path in doc_pages():
+        for mentioned in set(pattern.findall(_read(path))):
             if not os.path.isfile(os.path.join(ROOT, mentioned)):
-                error(f"{rel} mentions {mentioned} which does not exist in the repo")
+                error(f"{_rel(path)} mentions {mentioned} which does not exist in the repo")
 
 
-def main() -> int:
+def main(argv: list) -> int:
+    if "--links" in argv:
+        check_intra_repo_links()
+        if ERRORS:
+            print(f"docs-check: {len(ERRORS)} broken link(s)")
+            return 1
+        print(f"docs-check: OK ({len(doc_pages())} pages, intra-repo links resolve)")
+        return 0
     check_required_docs()
+    check_intra_repo_links()
     check_readme_matches_cli()
+    check_docs_cover_cli()
+    check_quoted_commands()
     check_module_docstrings()
     check_package_exports()
     check_no_phantom_files()
@@ -124,9 +266,13 @@ def main() -> int:
         print(f"docs-check: {len(ERRORS)} problem(s)")
         return 1
     modules = len(iter_modules())
-    print(f"docs-check: OK ({modules} modules, docstrings/exports/CLI docs consistent)")
+    pages = len(doc_pages())
+    print(
+        f"docs-check: OK ({modules} modules, {pages} doc pages; links, "
+        "CLI docs, quoted commands and exports consistent)"
+    )
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

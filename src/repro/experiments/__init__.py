@@ -14,7 +14,9 @@
   declarative :class:`SweepSpec` grids expanded into seeded runs, fanned
   out over ``multiprocessing`` workers, cached on disk by content hash,
   aggregated into :class:`RunResult` records with CSV/JSON export and
-  mean +/- 95% CI summaries.
+  mean +/- 95% CI summaries; :class:`AdaptiveCI` replication policies
+  grow each grid point's seed set until a target CI half-width is met
+  (:func:`run_sweep_adaptive`).
 * :mod:`repro.experiments.specs` -- the registry of named sweeps (the
   benchmark grids E2/E3/E5/E6/E7/E8/A1/A2, the example scenarios, a
   smoke sweep) plus their registered hooks and collectors.
@@ -63,11 +65,21 @@ from repro.experiments.orchestrator import (
     RunSpec,
     RunResult,
     ResultCache,
+    AdaptiveCI,
+    AdaptiveResult,
+    PointConvergence,
+    GridPoint,
     expand_spec,
+    expand_points,
+    point_run,
+    adaptive_seed_sequence,
     run_sweep,
+    run_sweep_adaptive,
+    load_adaptive_results,
     execute_run,
     parse_shard,
     shard_runs,
+    shard_points,
     merge_caches,
     validate_runs,
     load_cached_results,
@@ -120,11 +132,21 @@ __all__ = [
     "RunSpec",
     "RunResult",
     "ResultCache",
+    "AdaptiveCI",
+    "AdaptiveResult",
+    "PointConvergence",
+    "GridPoint",
     "expand_spec",
+    "expand_points",
+    "point_run",
+    "adaptive_seed_sequence",
     "run_sweep",
+    "run_sweep_adaptive",
+    "load_adaptive_results",
     "execute_run",
     "parse_shard",
     "shard_runs",
+    "shard_points",
     "merge_caches",
     "validate_runs",
     "load_cached_results",

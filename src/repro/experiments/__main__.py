@@ -18,12 +18,22 @@ cold cache (catching a mistyped ``--cache-dir``).  ``export`` rebuilds
 the CSV/JSON artifacts purely from cached results without running
 anything.
 
+A sweep whose spec carries an :class:`~repro.experiments.orchestrator.
+AdaptiveCI` replication policy runs *adaptively*: each grid point adds
+replication seeds until the 95% CI half-width of the policy's metric
+meets the target (``unconverged`` points are reported when ``max_seeds``
+is exhausted), and ``run`` prints the per-point convergence report.
+``--adaptive``/``--target-ci``/``--ci-metric`` force or override the
+policy from the command line.
+
 ``--shard I/N`` restricts ``run``/``resume`` to a deterministic 1-based
-slice of the grid, so N CI jobs sharing nothing but their cache
-directories cover the sweep exactly once; ``merge`` then folds the shard
-caches together and exports the full artifact set, and ``perf`` diffs
-the per-run wall times of two result sets (cache dirs, exported JSON
-artifacts, or cache generations) and exits non-zero on a regression.
+slice of the grid (of the *grid points* when adaptive, so one point's
+growing seed set never splits across jobs), so N CI jobs sharing nothing
+but their cache directories cover the sweep exactly once; ``merge`` then
+folds the shard caches together and exports the full artifact set, and
+``perf`` diffs the per-run wall times of two result sets (cache dirs,
+exported JSON artifacts, or cache generations) and exits non-zero on a
+regression.
 
 ``protocols`` lists every registered pluggable component (protocol
 stacks, radios, MACs, mobility models) and, with ``--check-coverage``,
@@ -41,15 +51,19 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.experiments.orchestrator import (
+    AdaptiveCI,
+    AdaptiveResult,
     RunResult,
     SpecError,
     SweepSpec,
     export_csv,
     export_json,
+    load_adaptive_results,
     load_cached_results,
     merge_caches,
     parse_shard,
     run_sweep,
+    run_sweep_adaptive,
     summarize,
 )
 from repro.experiments.perf import (
@@ -114,6 +128,28 @@ def _build_parser() -> argparse.ArgumentParser:
             type=float,
             default=None,
             help="simulated seconds per run, overriding the spec's",
+        )
+        p.add_argument(
+            "--adaptive",
+            action="store_true",
+            help="use adaptive seed replication (implied when the spec "
+            "carries a replication policy; otherwise requires --target-ci)",
+        )
+        p.add_argument(
+            "--target-ci",
+            type=float,
+            default=None,
+            metavar="HALF_WIDTH",
+            help="adaptive target: add seeds per grid point until the 95%% CI "
+            "half-width of the chosen metric is at most this (overrides the "
+            "spec's policy target)",
+        )
+        p.add_argument(
+            "--ci-metric",
+            default=None,
+            metavar="METRIC",
+            help="metric the adaptive CI target applies to "
+            "(default: the spec policy's metric, or 'pdr')",
         )
 
     for name, help_text in (
@@ -236,12 +272,47 @@ def _customize(spec: SweepSpec, args: argparse.Namespace) -> SweepSpec:
     return dataclasses.replace(spec, **replacements) if replacements else spec
 
 
+def _adaptive_policy(
+    spec: SweepSpec, args: argparse.Namespace
+) -> Optional[AdaptiveCI]:
+    """The adaptive policy this invocation should run under, if any.
+
+    A spec-level ``replication`` policy activates adaptively by itself;
+    ``--adaptive`` (or ``--target-ci``) forces the adaptive path for a
+    fixed-seed spec, in which case ``--target-ci`` must supply the
+    target.  ``--target-ci``/``--ci-metric`` override the corresponding
+    policy fields either way.
+    """
+    policy = spec.replication
+    target = getattr(args, "target_ci", None)
+    metric = getattr(args, "ci_metric", None)
+    if policy is None and not getattr(args, "adaptive", False) and target is None:
+        if metric is not None:
+            raise CliError("--ci-metric only applies to adaptive runs "
+                           "(pass --target-ci, or pick a spec with a policy)")
+        return None
+    if policy is None:
+        if target is None:
+            raise CliError(
+                f"sweep {spec.name!r} has no replication policy; --adaptive "
+                "needs --target-ci HALF_WIDTH (and optionally --ci-metric)"
+            )
+        return AdaptiveCI(target_half_width=target, metric=metric or "pdr")
+    replacements = {}
+    if target is not None:
+        replacements["target_half_width"] = target
+    if metric is not None:
+        replacements["metric"] = metric
+    return dataclasses.replace(policy, **replacements) if replacements else policy
+
+
 def _write_artifacts(
     spec: SweepSpec,
     results: Sequence[RunResult],
     out_dir: str,
     fmt: str,
     name: Optional[str] = None,
+    adaptive: Optional[AdaptiveResult] = None,
 ) -> List[str]:
     stem = name or spec.name
     written: List[str] = []
@@ -251,7 +322,7 @@ def _write_artifacts(
         written.append(path)
     if fmt in ("json", "both"):
         path = os.path.join(out_dir, f"{stem}.json")
-        export_json(results, path, spec=spec)
+        export_json(results, path, spec=spec, adaptive=adaptive)
         written.append(path)
     return written
 
@@ -272,6 +343,35 @@ def _print_summary(spec: SweepSpec, results: Sequence[RunResult]) -> None:
                 out[metric] = f"{mean:g}±{ci:g}" if ci else f"{mean:g}"
         display.append(out)
     print(format_table(display, title=f"{spec.name}: mean ± 95% CI over seeds"))
+
+
+def _print_convergence(adaptive: AdaptiveResult) -> None:
+    policy = adaptive.policy
+    rows = [
+        {
+            "grid_point": p.point,
+            "seeds": p.n_seeds,
+            "rounds": p.rounds,
+            f"{policy.metric}_mean": f"{p.mean:g}",
+            "ci95_half_width": f"{p.half_width:g}",
+            "status": p.status,
+        }
+        for p in adaptive.points
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"{adaptive.sweep}: adaptive replication on {policy.metric!r} "
+            f"(target half-width {policy.target_half_width:g}, "
+            f"{policy.min_seeds}..{policy.max_seeds} seeds, batch {policy.batch})",
+        )
+    )
+    print(
+        f"adaptive: {len(adaptive.converged)}/{len(adaptive.points)} point(s) "
+        f"converged; {adaptive.executed} executed + {adaptive.cached} cached = "
+        f"{len(adaptive.results)} runs "
+        f"(fixed grid at max_seeds: {adaptive.fixed_equivalent_runs} runs)"
+    )
 
 
 def _cmd_list() -> int:
@@ -349,19 +449,37 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
         )
         return 2
     shard = parse_shard(args.shard) if args.shard else None
-    results = run_sweep(
-        spec,
-        workers=args.workers,
-        cache_dir=cache_dir,
-        force=args.force,
-        progress=True,
-        shard=shard,
-    )
+    policy = _adaptive_policy(spec, args)
+    adaptive: Optional[AdaptiveResult] = None
+    if policy is not None:
+        adaptive = run_sweep_adaptive(
+            spec,
+            workers=args.workers,
+            cache_dir=cache_dir,
+            force=args.force,
+            progress=True,
+            shard=shard,
+            policy=policy,
+        )
+        results = adaptive.results
+    else:
+        results = run_sweep(
+            spec,
+            workers=args.workers,
+            cache_dir=cache_dir,
+            force=args.force,
+            progress=True,
+            shard=shard,
+        )
     _print_summary(spec, results)
+    if adaptive is not None:
+        _print_convergence(adaptive)
     # a shard writes suffixed artifacts so it never masquerades as the
     # full result set; `merge`/`export` produce the unsuffixed ones
     stem = f"{spec.name}.shard-{shard[0]}-of-{shard[1]}" if shard else spec.name
-    for path in _write_artifacts(spec, results, args.out, args.format, name=stem):
+    for path in _write_artifacts(
+        spec, results, args.out, args.format, name=stem, adaptive=adaptive
+    ):
         print(f"wrote {path}")
     return 0
 
@@ -371,7 +489,15 @@ def _cmd_export(args: argparse.Namespace) -> int:
     if not os.path.isdir(args.cache_dir):
         print(f"export: no cache directory at {args.cache_dir!r}", file=sys.stderr)
         return 2
-    results, missing_ids = load_cached_results(spec, args.cache_dir)
+    policy = _adaptive_policy(spec, args)
+    adaptive: Optional[AdaptiveResult] = None
+    if policy is not None:
+        adaptive, missing_ids = load_adaptive_results(
+            spec, args.cache_dir, policy=policy
+        )
+        results = adaptive.results
+    else:
+        results, missing_ids = load_cached_results(spec, args.cache_dir)
     missing = len(missing_ids)
     if not results:
         print(
@@ -383,12 +509,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
         return 2
     if missing:
         print(
-            f"export: {missing} of {spec.run_count} runs not cached; "
+            f"export: {missing} run(s) not cached (first: {missing_ids[0]}); "
             "artifact is partial (use `run` to fill the cache)",
             file=sys.stderr,
         )
     _print_summary(spec, results)
-    for path in _write_artifacts(spec, results, args.out, args.format):
+    if adaptive is not None:
+        _print_convergence(adaptive)
+    for path in _write_artifacts(spec, results, args.out, args.format, adaptive=adaptive):
         print(f"wrote {path}")
     return 0
 
@@ -408,17 +536,30 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    results, missing = load_cached_results(spec, args.cache_dir)
+    policy = _adaptive_policy(spec, args)
+    adaptive: Optional[AdaptiveResult] = None
+    if policy is not None:
+        # replay the adaptive stopping rule against the merged cache: the
+        # run set is whatever the per-point CI tests demand, not a static
+        # expansion, and any gap shows up as missing/incomplete below
+        adaptive, missing = load_adaptive_results(spec, args.cache_dir, policy=policy)
+        results = adaptive.results
+        expected = "the adaptive replay"
+    else:
+        results, missing = load_cached_results(spec, args.cache_dir)
+        expected = f"{spec.run_count} runs"
     if missing:
         print(
-            f"merge: {len(missing)} of {spec.run_count} runs missing from the "
+            f"merge: {len(missing)} run(s) of {expected} missing from the "
             f"merged cache (first missing: {missing[0]}); run the remaining "
             "shards (or check --seeds/--duration overrides) before merging",
             file=sys.stderr,
         )
         return 1
     _print_summary(spec, results)
-    for path in _write_artifacts(spec, results, args.out, args.format):
+    if adaptive is not None:
+        _print_convergence(adaptive)
+    for path in _write_artifacts(spec, results, args.out, args.format, adaptive=adaptive):
         print(f"wrote {path}")
     return 0
 

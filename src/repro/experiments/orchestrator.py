@@ -19,6 +19,13 @@ is the engine that executes such grids:
   parameters, the seed, and a flat metrics dictionary.  JSON/CSV export
   via :func:`export_json` / :func:`export_csv`, mean +/- 95% CI
   aggregation via :func:`summarize`.
+* :class:`AdaptiveCI` / :func:`run_sweep_adaptive` -- *adaptive seed
+  replication*: instead of a fixed seed list, each grid point keeps
+  adding replication seeds in deterministic batches until the 95% CI
+  half-width of a chosen metric falls below a target (or ``max_seeds``
+  is reached, recorded as ``unconverged``).  Low-variance points stop
+  early, noisy ones get more seeds, and the whole loop rides the same
+  content-hash cache -- a re-run against a warm cache executes nothing.
 
 Example -- a 2-axis sweep with 3 replication seeds, run on 4 workers::
 
@@ -103,6 +110,66 @@ class SpecError(ValueError):
     index outside ``1..count`` -- so a misconfigured sweep fails loudly
     instead of silently executing zero runs.
     """
+
+@dataclass(frozen=True)
+class AdaptiveCI:
+    """Adaptive replication policy: add seeds until the CI is tight.
+
+    Attached to :attr:`SweepSpec.replication` (or passed to
+    :func:`run_sweep_adaptive` directly), this replaces the fixed
+    ``seeds`` list with *sequential sampling*: every grid point starts
+    with ``min_seeds`` replications, and as long as the 95% CI
+    half-width of ``metric`` (as :func:`mean_ci95` computes it) exceeds
+    ``target_half_width``, the point receives ``batch`` more seeds --
+    independently of every other point -- until it converges or hits
+    ``max_seeds`` (recorded as ``unconverged``).
+
+    The seed sequence is deterministic (:func:`adaptive_seed_sequence`):
+    the spec's own ``seeds`` first, then successive integers.  Combined
+    with the content-hash cache this makes adaptive runs resumable and
+    replayable -- the stopping decisions are a pure function of the
+    cached results, so a re-run against a warm cache executes nothing
+    and sharded runs merge byte-identically to unsharded ones.
+    """
+
+    target_half_width: float          #: stop once ci95 half-width <= this
+    metric: str = "pdr"               #: RunResult.metrics key driving the test
+    min_seeds: int = 3                #: replications before the first CI test
+    max_seeds: int = 12               #: hard per-point budget
+    batch: int = 2                    #: seeds added per expansion round
+
+    def __post_init__(self) -> None:
+        if not self.target_half_width > 0:
+            raise SpecError(
+                f"adaptive target_half_width must be > 0, got {self.target_half_width!r}"
+            )
+        if not self.metric:
+            raise SpecError("adaptive policy needs a metric name")
+        if self.min_seeds < 2:
+            raise SpecError(
+                f"adaptive min_seeds must be >= 2 (one replication has no "
+                f"CI half-width), got {self.min_seeds}"
+            )
+        if self.max_seeds < self.min_seeds:
+            raise SpecError(
+                f"adaptive max_seeds ({self.max_seeds}) must be >= min_seeds "
+                f"({self.min_seeds})"
+            )
+        if self.batch < 1:
+            raise SpecError(f"adaptive batch must be >= 1, got {self.batch}")
+
+    def round_of(self, seed_index: int) -> int:
+        """Which adaptive round schedules the ``seed_index``-th replication.
+
+        Round 0 is the initial ``min_seeds`` block; each later round adds
+        one ``batch``.  Purely positional, so the provenance stamped onto
+        a :class:`RunResult` is identical whether the run executed live,
+        came from the cache, or was replayed from a merged shard cache.
+        """
+        if seed_index < self.min_seeds:
+            return 0
+        return 1 + (seed_index - self.min_seeds) // self.batch
+
 
 # ---------------------------------------------------------------------------
 # Registries: picklable-by-name hooks
@@ -250,6 +317,12 @@ class SweepSpec:
     the cross product of all axes times all ``seeds``.  An axis value is
     either a value for the ``ScenarioConfig`` field named by the axis, or
     a dict of several coupled field overrides.
+
+    ``replication`` optionally attaches an :class:`AdaptiveCI` policy:
+    ``seeds`` then only names the *initial* replications (and remains
+    the fixed-seed view :func:`expand_spec` exposes to tooling that needs
+    a static universe); :func:`run_sweep_adaptive` grows each grid
+    point's seed set at runtime until the policy's CI target is met.
     """
 
     name: str
@@ -261,6 +334,7 @@ class SweepSpec:
     collector: Optional[str] = None
     before_run: Optional[str] = None
     during_run: Optional[str] = None
+    replication: Optional[AdaptiveCI] = None
 
     @property
     def run_count(self) -> int:
@@ -315,13 +389,27 @@ def _apply_config_overrides(
     return dataclasses.replace(base, **plain)
 
 
-def expand_spec(spec: SweepSpec) -> List[RunSpec]:
-    """Cross product of every grid axis and every seed, in a stable order.
+@dataclass(frozen=True)
+class GridPoint:
+    """One grid combination of a sweep, before replication seeds apply.
 
-    Per-run RNG seeding is deterministic: the run's seed replaces
-    ``base.seed`` wholesale, and every stochastic component of a scenario
-    derives its stream from that one value, so the same (spec, seed) pair
-    always reproduces the same run.
+    Produced by :func:`expand_points`; :func:`point_run` turns a point
+    plus one seed into a concrete :class:`RunSpec`.  Fixed-seed expansion
+    (:func:`expand_spec`) and adaptive replication
+    (:func:`run_sweep_adaptive`) share this decomposition -- the adaptive
+    loop grows the *seed* dimension per point while the point set stays
+    static, which is also why adaptive sharding partitions points, not
+    runs (:func:`shard_points`).
+    """
+
+    label: str                        #: stable display label ("a=1,b=2" or "base")
+    params: Dict[str, Any]            #: the recorded swept values
+    overrides: Dict[str, Any]         #: config field overrides (may pin "seed")
+    hooks: Dict[str, Optional[str]]   #: resolved collector/before_run/during_run
+
+
+def expand_points(spec: SweepSpec) -> List[GridPoint]:
+    """Cross product of every grid axis (no seeds), in a stable order.
 
     An axis may name a :class:`ScenarioConfig` field (including dotted
     axes into the typed per-protocol sections, ``"hvdb.dimension"``, and
@@ -358,7 +446,7 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
         value_lists.append(values)
 
     config_fields = config_axis_names()
-    runs: List[RunSpec] = []
+    points: List[GridPoint] = []
     for combo in itertools.product(*value_lists) if axes else [()]:
         overrides: Dict[str, Any] = {}
         hooks: Dict[str, Optional[str]] = {
@@ -391,31 +479,92 @@ def expand_spec(spec: SweepSpec) -> List[RunSpec]:
                         f"slot {HOOK_AXES}; for a display-only axis use "
                         "dict values that include the axis name itself"
                     )
-        # an explicit "seed" axis replaces the replication-seed loop, so
-        # sweeping the seed itself (sweep(parameter="seed")) works without
-        # colliding with spec.seeds
-        seed_values = (overrides["seed"],) if "seed" in overrides else spec.seeds
-        for run_seed in seed_values:
-            merged = {k: v for k, v in overrides.items() if k != "seed"}
-            config = _apply_config_overrides(
-                dataclasses.replace(spec.base, seed=run_seed), merged
-            )
-            label = ",".join(
-                f"{k}={_format_value(v)}" for k, v in sorted(params.items())
-            ) or "base"
-            runs.append(
-                RunSpec(
-                    run_id=f"{spec.name}/{label}/seed={run_seed}",
-                    config=config,
-                    duration=spec.duration,
-                    seed=run_seed,
-                    params=dict(params),
-                    collector=hooks["collector"],
-                    before_run=hooks["before_run"],
-                    during_run=hooks["during_run"],
-                )
-            )
+        label = ",".join(
+            f"{k}={_format_value(v)}" for k, v in sorted(params.items())
+        ) or "base"
+        points.append(
+            GridPoint(label=label, params=params, overrides=overrides, hooks=hooks)
+        )
+    return points
+
+
+def point_run(spec: SweepSpec, point: GridPoint, run_seed: int) -> RunSpec:
+    """Resolve one (grid point, replication seed) pair into a :class:`RunSpec`.
+
+    Per-run RNG seeding is deterministic: the seed replaces ``base.seed``
+    wholesale, and every stochastic component of a scenario derives its
+    stream from that one value, so the same (spec, point, seed) triple
+    always reproduces the same run -- and the same cache key.
+    """
+    merged = {k: v for k, v in point.overrides.items() if k != "seed"}
+    config = _apply_config_overrides(
+        dataclasses.replace(spec.base, seed=run_seed), merged
+    )
+    return RunSpec(
+        run_id=f"{spec.name}/{point.label}/seed={run_seed}",
+        config=config,
+        duration=spec.duration,
+        seed=run_seed,
+        params=dict(point.params),
+        collector=point.hooks["collector"],
+        before_run=point.hooks["before_run"],
+        during_run=point.hooks["during_run"],
+    )
+
+
+def expand_spec(spec: SweepSpec) -> List[RunSpec]:
+    """Cross product of every grid axis and every seed, in a stable order.
+
+    Point-major: all seeds of the first grid point, then the next point
+    (see :func:`expand_points` for the axis semantics).  An explicit
+    ``"seed"`` axis replaces the replication-seed loop for its point, so
+    sweeping the seed itself (``sweep(parameter="seed")``) works without
+    colliding with ``spec.seeds``.
+    """
+    runs: List[RunSpec] = []
+    for point in expand_points(spec):
+        seed_values = (
+            (point.overrides["seed"],)
+            if "seed" in point.overrides
+            else spec.seeds
+        )
+        runs.extend(point_run(spec, point, run_seed) for run_seed in seed_values)
     return runs
+
+
+def adaptive_seed_sequence(spec: SweepSpec, policy: AdaptiveCI) -> List[int]:
+    """The deterministic per-point seed schedule of an adaptive sweep.
+
+    The spec's own ``seeds`` come first (so a fixed-seed history stays
+    cache-hot when a sweep turns adaptive), extended with successive
+    integers after their maximum, duplicates skipped, up to the policy's
+    ``max_seeds``.  Every grid point draws its replications from this one
+    prefix -- point ``i`` stopping after ``n`` seeds always used exactly
+    ``sequence[:n]`` -- which is what makes stopping decisions a pure
+    function of the cached results.
+    """
+    if not spec.seeds:
+        raise SpecError(
+            f"sweep {spec.name!r} has no replication seeds: the adaptive "
+            "sequence needs at least one starting seed"
+        )
+    # dedupe the spec's own list too: a repeated seed would count one run
+    # twice as two "independent" replications, collapsing the CI to zero
+    seeds: List[int] = []
+    seen = set()
+    for seed in spec.seeds:
+        seed = int(seed)
+        if seed not in seen:
+            seeds.append(seed)
+            seen.add(seed)
+    del seeds[policy.max_seeds :]
+    candidate = max(seen) + 1
+    while len(seeds) < policy.max_seeds:
+        if candidate not in seen:
+            seeds.append(candidate)
+            seen.add(candidate)
+        candidate += 1
+    return seeds
 
 
 # ---------------------------------------------------------------------------
@@ -458,6 +607,21 @@ def shard_runs(runs: Sequence[RunSpec], index: int, count: int) -> List[RunSpec]
     """
     _check_shard(index, count)
     return list(runs[index - 1 :: count])
+
+
+def shard_points(points: Sequence[GridPoint], index: int, count: int) -> List[GridPoint]:
+    """Round-robin shard of *grid points* -- the adaptive sharding unit.
+
+    Adaptive replication decides per grid point how many seeds to run, so
+    a run-level partition would split one point's growing seed set across
+    jobs and every job would need the others' results to stop correctly.
+    Sharding whole points keeps each job's stopping decisions local and
+    deterministic; the merged caches then replay to the exact unsharded
+    result set (:func:`load_adaptive_results`).  Same 1-based round-robin
+    semantics as :func:`shard_runs`.
+    """
+    _check_shard(index, count)
+    return list(points[index - 1 :: count])
 
 
 def validate_runs(runs: Sequence[RunSpec]) -> None:
@@ -529,10 +693,22 @@ def load_cached_results(
         if cached is None:
             missing.append(run.run_id)
         else:
-            cached.run_id = run.run_id
-            cached.params = dict(run.params)
+            _restamp(cached, run)
             results.append(cached)
     return results, missing
+
+
+def _restamp(result: RunResult, run: RunSpec, adaptive_round: int = 0) -> None:
+    """Relabel a cached result under the consuming sweep's identity.
+
+    The cache is keyed by content only, so the sweep-cosmetic fields --
+    run id, recorded params, adaptive-round provenance -- are stamped by
+    whoever reads the entry.  That keeps artifacts deterministic: a
+    replay from a merged shard cache stamps exactly what a live run would.
+    """
+    result.run_id = run.run_id
+    result.params = dict(run.params)
+    result.adaptive_round = adaptive_round
 
 
 def merge_caches(sources: Sequence[str], dest: str) -> Tuple[int, int]:
@@ -589,6 +765,10 @@ class RunResult:
     wall_time: float = 0.0
     from_cache: bool = False
     cache_key: str = ""
+    #: which adaptive round scheduled this replication (0 for the initial
+    #: block and for every fixed-seed run); stamped by the consumer like
+    #: ``run_id``/``params``, so it is deterministic even for cache hits
+    adaptive_round: int = 0
 
     def row(self) -> Dict[str, Any]:
         """One flat dict: params, then seed, then every metric."""
@@ -686,6 +866,53 @@ def _log(progress: bool, message: str) -> None:
         print(message, file=sys.stderr, flush=True)
 
 
+def _execute_pending(
+    pending: Sequence[tuple],
+    workers: int,
+    record: Callable[[Any, RunResult], None],
+    label: str,
+    progress: bool,
+) -> List[tuple]:
+    """Execute ``(key, RunSpec)`` pairs, calling ``record`` per result.
+
+    The shared engine under :func:`run_sweep` and the adaptive loop:
+    serial for one worker, a forked process pool otherwise.  Every run is
+    drained even when some fail -- completed work is always recorded (and
+    thereby cached) first -- and the ``(run_id, exception)`` failures are
+    returned for the caller to raise on.
+    """
+    failures: List[tuple] = []
+    if len(pending) == 0:
+        pass
+    elif workers <= 1 or len(pending) == 1:
+        for key, run in pending:
+            try:
+                record(key, execute_run(run))
+            except Exception as exc:
+                failures.append((run.run_id, exc))
+                _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
+    else:
+        import concurrent.futures
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        ) as pool:
+            futures = {pool.submit(execute_run, run): (key, run) for key, run in pending}
+            for future in concurrent.futures.as_completed(futures):
+                key, run = futures[future]
+                try:
+                    record(key, future.result())
+                except Exception as exc:
+                    failures.append((run.run_id, exc))
+                    _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
+    return failures
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
@@ -721,8 +948,7 @@ def run_sweep(
     for index, run in enumerate(runs):
         cached = cache.get(run.cache_key()) if cache is not None and not force else None
         if cached is not None:
-            cached.run_id = run.run_id          # cosmetic: report under this sweep's id
-            cached.params = dict(run.params)
+            _restamp(cached, run)      # cosmetic: report under this sweep's id
             results[index] = cached
         else:
             pending.append((index, run))
@@ -750,38 +976,7 @@ def run_sweep(
             f"{pdr_note} ({result.wall_time:.1f}s)",
         )
 
-    failures: List[tuple] = []       # (run_id, exception)
-
-    if len(pending) == 0:
-        pass
-    elif workers <= 1 or len(pending) == 1:
-        for index, run in pending:
-            try:
-                record(index, execute_run(run))
-            except Exception as exc:
-                failures.append((run.run_id, exc))
-                _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
-    else:
-        import concurrent.futures
-        import multiprocessing
-
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), mp_context=context
-        ) as pool:
-            futures = {pool.submit(execute_run, run): (index, run) for index, run in pending}
-            # drain every future even when one fails, so completed runs
-            # are still recorded (and cached) before the error is raised
-            for future in concurrent.futures.as_completed(futures):
-                index, run = futures[future]
-                try:
-                    record(index, future.result())
-                except Exception as exc:
-                    failures.append((run.run_id, exc))
-                    _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
+    failures = _execute_pending(pending, workers, record, label, progress)
 
     if failures:
         completed = len(runs) - len(failures)
@@ -800,6 +995,363 @@ def run_sweep(
         f"[{label}] done: {hit_count} cached + {len(pending)} executed",
     )
     return [results[i] for i in range(len(runs))]
+
+
+# ---------------------------------------------------------------------------
+# Adaptive replication
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PointConvergence:
+    """Per-grid-point verdict of an adaptive sweep."""
+
+    point: str                        #: stable grid-point label
+    params: Dict[str, Any]            #: the swept parameter assignment
+    n_seeds: int                      #: replications actually run
+    rounds: int                       #: adaptive rounds the point took part in
+    mean: float                       #: metric mean over those replications
+    half_width: float                 #: 95% CI half-width over them
+    target: float                     #: the policy's target half-width
+    status: str                       #: converged | unconverged | incomplete
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class AdaptiveResult:
+    """Everything an adaptive sweep produced.
+
+    ``results`` is the flat run list in deterministic order (grid points
+    in :func:`expand_points` order, each point's seeds in
+    :func:`adaptive_seed_sequence` order), ``points`` the per-point
+    convergence verdicts.  ``executed``/``cached`` count this
+    invocation's work; ``fixed_equivalent_runs`` is what the same grid
+    would have cost with ``max_seeds`` everywhere -- the budget adaptive
+    stopping saves.
+    """
+
+    sweep: str
+    policy: AdaptiveCI
+    results: List[RunResult] = field(default_factory=list)
+    points: List[PointConvergence] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def converged(self) -> List[PointConvergence]:
+        return [p for p in self.points if p.status == "converged"]
+
+    @property
+    def unconverged(self) -> List[PointConvergence]:
+        return [p for p in self.points if p.status != "converged"]
+
+    @property
+    def fixed_equivalent_runs(self) -> int:
+        return len(self.points) * self.policy.max_seeds
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The convergence report block embedded in JSON artifacts."""
+        return {
+            "sweep": self.sweep,
+            "policy": dataclasses.asdict(self.policy),
+            "executed": self.executed,
+            "cached": self.cached,
+            "total_runs": len(self.results),
+            "fixed_equivalent_runs": self.fixed_equivalent_runs,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def _metric_values(
+    results: Sequence[RunResult], policy: AdaptiveCI, spec_name: str
+) -> List[float]:
+    values = []
+    for result in results:
+        value = result.metrics.get(policy.metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            numeric = sorted(
+                name
+                for name, v in result.metrics.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            )
+            raise SpecError(
+                f"adaptive sweep {spec_name!r}: metric {policy.metric!r} is "
+                f"not a numeric metric of run {result.run_id!r} (numeric "
+                f"metrics: {', '.join(numeric) or 'none'})"
+            )
+        values.append(float(value))
+    return values
+
+
+def _adaptive_sweep(
+    spec: SweepSpec,
+    policy: AdaptiveCI,
+    workers: int,
+    cache: Optional[ResultCache],
+    force: bool,
+    progress: bool,
+    shard: Optional[Tuple[int, int]],
+    cache_only: bool,
+    version: Optional[int],
+) -> Tuple[AdaptiveResult, List[str]]:
+    """The sequential-sampling loop shared by live runs and cache replay.
+
+    Every round schedules the next seed block for each still-active grid
+    point, resolves it against the cache, executes the misses (or, with
+    ``cache_only``, records them as missing and marks the point
+    ``incomplete``), then re-tests each point's CI half-width.  Stopping
+    decisions depend only on the deterministic seed schedule and the
+    per-run results, so a replay over a warm (or merged shard) cache
+    reproduces the exact run set without executing anything.
+    """
+    points = expand_points(spec)
+    for point in points:
+        if "seed" in point.overrides:
+            raise SpecError(
+                f"adaptive sweep {spec.name!r}: grid point {point.label!r} "
+                "pins an explicit 'seed' override; adaptive replication "
+                "drives the seed dimension itself, so a seed axis cannot "
+                "be combined with it"
+            )
+    label = f"{spec.name} adaptive"
+    if shard is not None:
+        points = shard_points(points, *shard)
+        label = f"{spec.name} adaptive shard {shard[0]}/{shard[1]}"
+    seeds = adaptive_seed_sequence(spec, policy)
+
+    collected: List[List[RunResult]] = [[] for _ in points]
+    rounds: List[int] = [0] * len(points)
+    status: List[str] = [""] * len(points)
+    missing: List[str] = []
+    report = AdaptiveResult(sweep=spec.name, policy=policy)
+
+    active = list(range(len(points)))
+    validated = False
+    round_idx = 0
+    while active:
+        # 1. schedule this round's seed block per active point
+        scheduled: List[Tuple[Tuple[int, int], RunSpec]] = []
+        for pi in active:
+            have = len(collected[pi])
+            want = (
+                policy.min_seeds
+                if round_idx == 0
+                else min(have + policy.batch, policy.max_seeds)
+            )
+            scheduled.extend(
+                ((pi, si), point_run(spec, points[pi], seeds[si]))
+                for si in range(have, want)
+            )
+        if not validated:
+            validate_runs([run for _key, run in scheduled])
+            validated = True
+
+        # 2. resolve against the cache; collect what must execute
+        staged: Dict[Tuple[int, int], RunResult] = {}
+        pending: List[Tuple[Tuple[int, int], RunSpec]] = []
+        incomplete = set()
+        for key, run in scheduled:
+            cached = (
+                cache.get(run.cache_key(version=version))
+                if cache is not None and not force
+                else None
+            )
+            if cached is not None:
+                _restamp(cached, run, adaptive_round=policy.round_of(key[1]))
+                staged[key] = cached
+                report.cached += 1
+            elif cache_only:
+                missing.append(run.run_id)
+                incomplete.add(key[0])
+            else:
+                pending.append((key, run))
+
+        _log(
+            progress,
+            f"[{label}] round {round_idx}: {len(active)} point(s) active, "
+            f"{len(scheduled)} run(s): {len(scheduled) - len(pending)} cache "
+            f"hits, {len(pending)} to execute on {max(1, workers)} worker(s)",
+        )
+
+        # 3. execute the misses (never entered during cache-only replay)
+        done = 0
+
+        def record(key: Tuple[int, int], result: RunResult) -> None:
+            nonlocal done
+            result.adaptive_round = policy.round_of(key[1])
+            staged[key] = result
+            if cache is not None:
+                cache.put(result.cache_key, result)
+            done += 1
+            _log(
+                progress,
+                f"[{label}] ({done}/{len(pending)}) {result.run_id} "
+                f"({result.wall_time:.1f}s)",
+            )
+
+        failures = _execute_pending(pending, workers, record, label, progress)
+        report.executed += len(pending) - len(failures)
+        if failures:
+            detail = "; ".join(f"{rid}: {exc!r}" for rid, exc in failures[:5])
+            if len(failures) > 5:
+                detail += f"; ... {len(failures) - 5} more"
+            raise SweepError(
+                f"{len(failures)} of {len(scheduled)} runs failed in round "
+                f"{round_idx} of adaptive sweep {label!r}"
+                + (
+                    " (completed runs are cached -- a re-run resumes from them)"
+                    if cache is not None
+                    else ""
+                )
+                + f": {detail}"
+            )
+
+        # 4. fold the round's results in and re-test each point's CI
+        round_idx += 1
+        next_active = []
+        for pi in active:
+            rounds[pi] += 1
+            si = len(collected[pi])
+            while (pi, si) in staged:
+                collected[pi].append(staged[(pi, si)])
+                si += 1
+            if pi in incomplete:
+                status[pi] = "incomplete"
+                continue
+            values = _metric_values(collected[pi], policy, spec.name)
+            _mean, half_width = mean_ci95(values)
+            if half_width <= policy.target_half_width:
+                status[pi] = "converged"
+                _log(
+                    progress,
+                    f"[{label}] {points[pi].label}: converged with "
+                    f"{len(values)} seed(s) (half-width {half_width:g} <= "
+                    f"{policy.target_half_width:g})",
+                )
+            elif len(collected[pi]) >= policy.max_seeds:
+                status[pi] = "unconverged"
+                _log(
+                    progress,
+                    f"[{label}] {points[pi].label}: UNCONVERGED at max_seeds="
+                    f"{policy.max_seeds} (half-width {half_width:g} > "
+                    f"{policy.target_half_width:g})",
+                )
+            else:
+                next_active.append(pi)
+        active = next_active
+
+    for pi, point in enumerate(points):
+        report.results.extend(collected[pi])
+        if collected[pi] and status[pi] != "incomplete":
+            mean, half_width = mean_ci95(
+                _metric_values(collected[pi], policy, spec.name)
+            )
+        else:
+            mean = half_width = 0.0
+        report.points.append(
+            PointConvergence(
+                point=point.label,
+                params=dict(point.params),
+                n_seeds=len(collected[pi]),
+                rounds=rounds[pi],
+                mean=round(mean, 6),
+                half_width=round(half_width, 6),
+                target=policy.target_half_width,
+                status=status[pi],
+            )
+        )
+    _log(
+        progress,
+        f"[{label}] done: {len(report.converged)}/{len(points)} point(s) "
+        f"converged in {round_idx} round(s); {report.executed} executed + "
+        f"{report.cached} cached = {len(report.results)} runs "
+        f"(fixed grid at max_seeds: {report.fixed_equivalent_runs})",
+    )
+    return report, missing
+
+
+def run_sweep_adaptive(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    force: bool = False,
+    progress: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
+    policy: Optional[AdaptiveCI] = None,
+) -> AdaptiveResult:
+    """Execute ``spec`` under adaptive replication and return the report.
+
+    ``policy`` overrides ``spec.replication`` (one of the two must be
+    set).  Each grid point starts at ``policy.min_seeds`` replications
+    and grows by ``policy.batch`` per round until the 95% CI half-width
+    of ``policy.metric`` is at most ``policy.target_half_width`` or
+    ``max_seeds`` is exhausted (``unconverged``).  The content-hash cache
+    is consulted before every execution, so resuming, re-running, and
+    replaying merged shard caches all cost zero executions once warm.
+
+    ``shard=(index, count)`` restricts the sweep to a round-robin shard
+    of the *grid points* (seeds of one point never split across jobs --
+    see :func:`shard_points`); shard jobs sharing nothing but merged
+    caches reproduce the unsharded result set exactly.
+    """
+    policy = policy or spec.replication
+    if policy is None:
+        raise SpecError(
+            f"sweep {spec.name!r} has no adaptive replication policy: attach "
+            "SweepSpec(replication=AdaptiveCI(...)) or pass policy="
+        )
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    report, _missing = _adaptive_sweep(
+        spec,
+        policy,
+        workers=workers,
+        cache=cache,
+        force=force,
+        progress=progress,
+        shard=shard,
+        cache_only=False,
+        version=None,
+    )
+    return report
+
+
+def load_adaptive_results(
+    spec: SweepSpec,
+    cache_dir: str,
+    version: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    policy: Optional[AdaptiveCI] = None,
+) -> Tuple[AdaptiveResult, List[str]]:
+    """Replay an adaptive sweep from a cache directory, running nothing.
+
+    The adaptive analogue of :func:`load_cached_results`: the stopping
+    rule is re-evaluated against the cached results round by round, so
+    the replay reconstructs exactly the run set a live adaptive sweep
+    produced (this is what ``merge`` and ``export`` use after sharded
+    adaptive jobs).  Returns the report plus the run ids of cache misses;
+    a point whose next scheduled seed block is missing is reported with
+    status ``incomplete``, since its stopping decision cannot be replayed
+    past the gap.
+    """
+    policy = policy or spec.replication
+    if policy is None:
+        raise SpecError(
+            f"sweep {spec.name!r} has no adaptive replication policy: attach "
+            "SweepSpec(replication=AdaptiveCI(...)) or pass policy="
+        )
+    return _adaptive_sweep(
+        spec,
+        policy,
+        workers=1,
+        cache=ResultCache(cache_dir),
+        force=False,
+        progress=False,
+        shard=shard,
+        cache_only=True,
+        version=version,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -876,8 +1428,18 @@ def summarize(
     return rows
 
 
-def export_json(results: Sequence[RunResult], path: str, spec: Optional[SweepSpec] = None) -> None:
-    """Write results (and optionally the generating spec) as one JSON document."""
+def export_json(
+    results: Sequence[RunResult],
+    path: str,
+    spec: Optional[SweepSpec] = None,
+    adaptive: Optional[AdaptiveResult] = None,
+) -> None:
+    """Write results (and optionally the generating spec) as one JSON document.
+
+    ``adaptive`` embeds an adaptive sweep's convergence report (policy,
+    per-point status incl. ``unconverged``, executed-vs-fixed budget) as
+    an ``"adaptive"`` block next to the results.
+    """
     document: Dict[str, Any] = {"results": [r.to_dict() for r in results]}
     if spec is not None:
         document["spec"] = {
@@ -888,6 +1450,8 @@ def export_json(results: Sequence[RunResult], path: str, spec: Optional[SweepSpe
             "grid": {axis: [_canonical(v) for v in values] for axis, values in spec.grid.items()},
             "base": _canonical(dataclasses.asdict(spec.base)),
         }
+    if adaptive is not None:
+        document["adaptive"] = adaptive.to_dict()
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=2)

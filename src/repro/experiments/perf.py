@@ -9,7 +9,12 @@ without any extra instrumentation.
 
 :func:`compare_wall_times` groups both sides by grid point (the swept
 ``params`` minus the seed), compares per-point medians, and classifies
-each point:
+each point.  Grouping by grid point -- never by seed count -- is what
+keeps the comparison meaningful under *adaptive replication*: two result
+sets of the same sweep may carry different numbers of seeds per point
+(one side converged earlier, or a policy changed), and medians plus the
+rank-based Mann-Whitney test are insensitive to unequal sample sizes.
+Classes:
 
 * ``regressed`` -- the current median exceeds the baseline median by more
   than the tolerance fraction; when both sides have enough replications a
@@ -39,6 +44,7 @@ from repro.experiments.orchestrator import (
     SpecError,
     SweepSpec,
     _format_value,
+    load_adaptive_results,
     load_cached_results,
     load_json,
 )
@@ -248,7 +254,10 @@ def load_results(
     directory is keyed by content hash, so the spec must be expanded to
     know which entries belong to the sweep); ``cache_version`` addresses
     an older :data:`~repro.experiments.orchestrator.CACHE_VERSION`
-    generation inside the same directory.
+    generation inside the same directory.  A spec carrying an adaptive
+    replication policy is replayed through its stopping rule
+    (:func:`~repro.experiments.orchestrator.load_adaptive_results`), since
+    its run set is not a static expansion.
     """
     if os.path.isdir(path):
         if spec is None:
@@ -256,6 +265,11 @@ def load_results(
                 f"{path!r} is a cache directory; loading wall times from a "
                 "cache requires the sweep spec to enumerate its entries"
             )
+        if spec.replication is not None:
+            adaptive, _missing = load_adaptive_results(
+                spec, path, version=cache_version
+            )
+            return adaptive.results
         results, _missing = load_cached_results(spec, path, version=cache_version)
         return results
     if cache_version is not None:

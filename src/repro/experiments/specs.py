@@ -18,6 +18,7 @@ Look specs up with :func:`get_spec`, enumerate them with
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Dict, List
 
@@ -25,7 +26,12 @@ from repro.baselines.dsm import DsmConfig
 from repro.core.membership import BroadcasterCriterion
 from repro.core.protocol import HVDBConfig, HVDBParameters, HVDBStack
 from repro.core.qos import QoSRequirement, qos_satisfaction_ratio
-from repro.experiments.orchestrator import SweepSpec, register_collector, register_hook
+from repro.experiments.orchestrator import (
+    AdaptiveCI,
+    SweepSpec,
+    register_collector,
+    register_hook,
+)
 from repro.experiments.scenarios import PROTOCOLS, ScenarioConfig
 from repro.metrics.availability import compute_availability
 
@@ -192,6 +198,30 @@ register_spec(
 
 register_spec(
     SweepSpec(
+        name="smoke_adaptive",
+        description="Adaptive-replication smoke: the tiny flooding grid under "
+        "an AdaptiveCI policy with a loose target, so the sequential-sampling "
+        "loop (expand rounds, per-point stopping, cache replay) runs in "
+        "seconds in CI.",
+        base=ScenarioConfig(
+            protocol="flooding",
+            area_size=700.0,
+            radio_range=250.0,
+            max_speed=2.0,
+            traffic_start=5.0,
+            traffic_interval=2.0,
+        ),
+        grid={"n_nodes": [15, 25]},
+        seeds=(1, 2),
+        duration=15.0,
+        replication=AdaptiveCI(
+            target_half_width=0.25, metric="pdr", min_seeds=2, max_seeds=4, batch=1
+        ),
+    )
+)
+
+register_spec(
+    SweepSpec(
         name="quickstart",
         description="The quickstart scenario: HVDB on a 100-node random-waypoint "
         "MANET, one multicast group (examples/quickstart.py).",
@@ -323,6 +353,23 @@ register_spec(
     )
 )
 
+# derived from e6_mobility (same base and grid, by construction) so the
+# fixed and adaptive variants cannot drift apart
+register_spec(
+    dataclasses.replace(
+        get_spec("e6_mobility"),
+        name="e6_mobility_adaptive",
+        description="E6 under adaptive replication: the mobility grid is the "
+        "noisiest in the evaluation (CH churn at 10-20 m/s), so seeds are "
+        "added per grid point until the delivery-ratio 95% CI half-width "
+        "drops to 0.05 (max 10 seeds/point).",
+        seeds=(37, 38, 39),
+        replication=AdaptiveCI(
+            target_half_width=0.05, metric="pdr", min_seeds=3, max_seeds=10, batch=2
+        ),
+    )
+)
+
 register_spec(
     SweepSpec(
         name="e5_availability",
@@ -380,6 +427,22 @@ register_spec(
         seeds=(43,),
         duration=100.0,
         collector="membership_change_count",
+    )
+)
+
+# derived from e8_churn (same base, grid and collector, by construction)
+register_spec(
+    dataclasses.replace(
+        get_spec("e8_churn"),
+        name="e8_churn_adaptive",
+        description="E8a under adaptive replication: group churn makes "
+        "per-seed delivery highly variable, so each churn rate gets seeds "
+        "until the delivery-ratio 95% CI half-width reaches 0.04 (max 12 "
+        "seeds/point) instead of a one-size seed list.",
+        seeds=(43, 44, 45),
+        replication=AdaptiveCI(
+            target_half_width=0.04, metric="pdr", min_seeds=3, max_seeds=12, batch=3
+        ),
     )
 )
 

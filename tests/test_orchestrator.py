@@ -221,6 +221,29 @@ class TestAggregation:
         assert mean_ci95([5.0]) == (5.0, 0.0)
         assert mean_ci95([]) == (0.0, 0.0)
 
+    def test_t95_critical_values(self):
+        from repro.experiments.orchestrator import _t95
+
+        # no degrees of freedom -> no half-width contribution at all
+        assert _t95(0) == 0.0
+        assert _t95(-3) == 0.0
+        # the tabulated Student-t endpoints, then the normal approximation
+        assert _t95(1) == pytest.approx(12.706)
+        assert _t95(30) == pytest.approx(2.042)
+        assert _t95(31) == pytest.approx(1.96)
+        assert _t95(10_000) == pytest.approx(1.96)
+
+    def test_mean_ci95_single_sample_has_no_half_width(self):
+        # n=1: the mean is the sample, the CI half-width is undefined --
+        # reported as 0.0, which is why adaptive policies require
+        # min_seeds >= 2 before trusting a convergence test
+        assert mean_ci95([7.25]) == (7.25, 0.0)
+
+    def test_mean_ci95_zero_variance(self):
+        mean, ci = mean_ci95([0.4, 0.4, 0.4, 0.4])
+        assert mean == pytest.approx(0.4)
+        assert ci == 0.0
+
     def test_summarize_groups_by_params(self):
         def fake(params, seed, pdr):
             return RunResult(
@@ -237,6 +260,29 @@ class TestAggregation:
         assert by_nodes[10]["n_seeds"] == 2
         assert by_nodes[10]["pdr_mean"] == pytest.approx(0.5)
         assert by_nodes[20]["pdr_mean"] == pytest.approx(1.0)
+        assert by_nodes[20]["pdr_ci95"] == 0.0
+
+    def test_summarize_single_seed_and_zero_variance_groups(self):
+        def fake(params, seed, pdr):
+            return RunResult(
+                run_id="r", params=params, seed=seed, duration=1.0, metrics={"pdr": pdr}
+            )
+
+        rows = summarize(
+            [
+                fake({"n_nodes": 10}, 1, 0.7),                       # n=1
+                fake({"n_nodes": 20}, 1, 0.9),                       # zero variance
+                fake({"n_nodes": 20}, 2, 0.9),
+                fake({"n_nodes": 20}, 3, 0.9),
+            ],
+            metrics=["pdr"],
+        )
+        by_nodes = {r["n_nodes"]: r for r in rows}
+        assert by_nodes[10] == {
+            "n_nodes": 10, "n_seeds": 1, "pdr_mean": 0.7, "pdr_ci95": 0.0,
+        }
+        assert by_nodes[20]["n_seeds"] == 3
+        assert by_nodes[20]["pdr_mean"] == pytest.approx(0.9)
         assert by_nodes[20]["pdr_ci95"] == 0.0
 
 
