@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke adaptive-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
+.PHONY: test bench-smoke adaptive-smoke queue-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
 
 ## tier-1 test suite (fast, deterministic) -- must stay green
 test:
@@ -21,6 +21,22 @@ bench-smoke:
 ## zero-executions-on-warm-cache invariant, under pytest
 adaptive-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_s1_adaptive_smoke.py
+
+## seconds-long end-to-end check of the queue executor: the smoke grid
+## drained by two work-stealing worker processes (file leases over a
+## shared queue directory) must produce a CSV artifact byte-identical
+## to a process-executor run, with the queue fully drained
+QUEUE_SMOKE_DIR := .ci/queue-smoke
+queue-smoke:
+	rm -rf $(QUEUE_SMOKE_DIR)
+	$(PYTHON) -m repro.experiments run smoke --executor process \
+	  --cache-dir $(QUEUE_SMOKE_DIR)/ref-cache --out $(QUEUE_SMOKE_DIR)/ref
+	$(PYTHON) -m repro.experiments run smoke --executor queue --workers 2 \
+	  --queue-dir $(QUEUE_SMOKE_DIR)/queue \
+	  --cache-dir $(QUEUE_SMOKE_DIR)/queue-cache --out $(QUEUE_SMOKE_DIR)/out
+	cmp $(QUEUE_SMOKE_DIR)/ref/smoke.csv $(QUEUE_SMOKE_DIR)/out/smoke.csv
+	test -z "$$(ls $(QUEUE_SMOKE_DIR)/queue/tasks)"
+	@echo "make queue-smoke: OK (two queue workers, byte-identical artifacts, queue drained)"
 
 ## full benchmark suite regenerating the paper's evaluation (minutes)
 bench:
@@ -49,15 +65,16 @@ protocol-coverage:
 	$(PYTHON) -m repro.experiments protocols --check-coverage
 
 ## everything a PR must keep green
-check: test bench-smoke adaptive-smoke docs-check protocol-coverage
+check: test bench-smoke adaptive-smoke queue-smoke docs-check protocol-coverage
 
 ## reproduce the CI pipeline (.github/workflows/ci.yml) locally:
 ## tier-1 tests, docs consistency (links included), the smoke sweep
 ## split across three share-nothing shards, a merge that must
 ## reassemble the full grid, a wall-time diff against the committed
 ## baseline (loose tolerance across machines) plus a strict gate on a
-## synthetic 2x regression, and the adaptive smoke sweep (run + a
-## warm-cache re-run that must execute zero runs)
+## synthetic 2x regression, the adaptive smoke sweep (run + a
+## warm-cache re-run that must execute zero runs), and the queue-executor
+## smoke (two work-stealing workers, byte-identical artifacts)
 CI_DIR := .ci
 ci: test docs-check protocol-coverage
 	rm -rf $(CI_DIR)
@@ -86,4 +103,5 @@ ci: test docs-check protocol-coverage
 	  --cache-dir $(CI_DIR)/adaptive --format none \
 	  | grep -q "; 0 executed +" \
 	  || { echo "adaptive gate: warm-cache re-run executed runs (expected 0)"; exit 1; }
-	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive)"
+	$(MAKE) queue-smoke
+	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive, queue)"

@@ -4,8 +4,8 @@
 Fails (exit code 1) if documentation has drifted from the code:
 
 1. required docs exist (README.md plus the docs/ suite: architecture
-   overview, orchestrator, sharding-and-ci, protocol-registry,
-   experiments-guide);
+   overview, orchestrator, executors, sharding-and-ci,
+   protocol-registry, experiments-guide);
 2. every intra-repo markdown link in README/docs resolves (the docs
    suite cross-references itself page to page; a split or rename must
    not leave dangling links);
@@ -44,6 +44,7 @@ REQUIRED_DOCS = (
     "README.md",
     "docs/architecture.md",
     "docs/orchestrator.md",
+    "docs/executors.md",
     "docs/sharding-and-ci.md",
     "docs/protocol-registry.md",
     "docs/experiments-guide.md",

@@ -17,6 +17,13 @@
   mean +/- 95% CI summaries; :class:`AdaptiveCI` replication policies
   grow each grid point's seed set until a target CI half-width is met
   (:func:`run_sweep_adaptive`).
+* :mod:`repro.experiments.executors` -- registry-driven run-execution
+  backends behind :func:`run_sweep`: in-process ``serial``, the default
+  ``process`` pool, a ``thread`` pool, and a ``queue`` of file-leased
+  runs that any number of worker processes or machines sharing one
+  filesystem drain cooperatively (``python -m repro.experiments
+  worker``); the backend choice never enters cache keys, so results are
+  byte-identical across executors.
 * :mod:`repro.experiments.specs` -- the registry of named sweeps (the
   benchmark grids E2/E3/E5/E6/E7/E8/A1/A2, the example scenarios, a
   smoke sweep) plus their registered hooks and collectors.
@@ -25,8 +32,10 @@
   exported artifacts, or cache generations) point by point.
 * ``python -m repro.experiments`` -- CLI over the registry:
   ``list`` / ``run`` / ``resume`` / ``export`` / ``merge`` / ``perf`` /
-  ``protocols`` (registered components + spec-coverage check), with
-  ``--shard I/N`` splitting a grid across share-nothing CI jobs.
+  ``protocols`` (registered components + spec-coverage check) /
+  ``executors`` (registered backends) / ``worker`` (attach to a queue
+  directory), with ``--shard I/N`` splitting a grid across
+  share-nothing CI jobs and ``--executor NAME`` picking the backend.
 
 Minimal single run::
 
@@ -58,6 +67,17 @@ from repro.experiments.scenarios import (
     PROTOCOLS,
 )
 from repro.experiments.runner import run_scenario, sweep, ExperimentResult, results_table
+from repro.experiments.executors import (
+    DEFAULT_EXECUTOR,
+    EXECUTORS,
+    Executor,
+    WorkQueue,
+    WorkerTaskError,
+    available_executors,
+    make_executor,
+    register_executor,
+    run_worker,
+)
 from repro.experiments.orchestrator import (
     SweepSpec,
     SweepError,
@@ -144,6 +164,15 @@ __all__ = [
     "run_sweep_adaptive",
     "load_adaptive_results",
     "execute_run",
+    "DEFAULT_EXECUTOR",
+    "EXECUTORS",
+    "Executor",
+    "WorkQueue",
+    "WorkerTaskError",
+    "available_executors",
+    "make_executor",
+    "register_executor",
+    "run_worker",
     "parse_shard",
     "shard_runs",
     "shard_points",

@@ -4,19 +4,26 @@
 
     python -m repro.experiments list
     python -m repro.experiments protocols [--check-coverage]
-    python -m repro.experiments run SWEEP [--workers N] [--shard 2/3] ...
+    python -m repro.experiments executors
+    python -m repro.experiments run SWEEP [--executor NAME] [--workers N] ...
     python -m repro.experiments resume SWEEP [...]
+    python -m repro.experiments worker --queue-dir DIR [--stale-after S]
     python -m repro.experiments export SWEEP --out DIR [...]
     python -m repro.experiments merge SWEEP --cache-dir DEST --from DIR ...
     python -m repro.experiments perf SWEEP --baseline PATH --current PATH
 
-``run`` executes a registered sweep (see ``list``) on a pool of worker
-processes, caching finished runs under ``--cache-dir`` so an interrupted
-or repeated invocation only executes what is missing; ``resume`` is
-``run`` with the additional guarantee that it refuses to start from a
-cold cache (catching a mistyped ``--cache-dir``).  ``export`` rebuilds
-the CSV/JSON artifacts purely from cached results without running
-anything.
+``run`` executes a registered sweep (see ``list``) through a registered
+*executor backend* (see ``executors``: in-process ``serial``, the
+default ``process`` pool, a ``thread`` pool, or a shared-directory
+``queue`` drained by worker processes on any machine), caching finished
+runs under ``--cache-dir`` so an interrupted or repeated invocation only
+executes what is missing; ``resume`` is ``run`` with the additional
+guarantee that it refuses to start from a cold cache (catching a
+mistyped ``--cache-dir``).  ``worker`` attaches to a live ``queue``
+executor's directory and executes runs it claims via atomic file leases
+until the driver closes the queue (see ``docs/executors.md``).
+``export`` rebuilds the CSV/JSON artifacts purely from cached results
+without running anything.
 
 A sweep whose spec carries an :class:`~repro.experiments.orchestrator.
 AdaptiveCI` replication policy runs *adaptively*: each grid point adds
@@ -50,6 +57,13 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro.experiments.executors import (
+    DEFAULT_EXECUTOR,
+    DEFAULT_QUEUE_DIR,
+    DEFAULT_STALE_AFTER,
+    available_executors,
+    run_worker,
+)
 from repro.experiments.orchestrator import (
     AdaptiveCI,
     AdaptiveResult,
@@ -74,6 +88,7 @@ from repro.experiments.perf import (
 )
 from repro.experiments.specs import available_specs, get_spec
 from repro.metrics.collectors import format_table
+from repro.registry import RegistryError
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 DEFAULT_OUT_DIR = "artifacts"
@@ -98,6 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless every registered protocol is exercised by at "
         "least one registered sweep",
+    )
+
+    sub.add_parser(
+        "executors",
+        help="list registered run-execution backends (--executor choices)",
     )
 
     def add_common(p: argparse.ArgumentParser) -> None:
@@ -162,7 +182,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=int,
             default=max(1, min(4, os.cpu_count() or 1)),
-            help="worker processes (default: min(4, cpu count))",
+            help="backend parallelism: pool size for process/thread, locally "
+            "spawned worker processes for queue (0 = rely on externally "
+            "attached workers); default: min(4, cpu count)",
+        )
+        p.add_argument(
+            "--executor",
+            default=None,
+            metavar="NAME",
+            help="run-execution backend (see `executors`); default: the "
+            f"spec's, else {DEFAULT_EXECUTOR!r}",
+        )
+        p.add_argument(
+            "--queue-dir",
+            default=DEFAULT_QUEUE_DIR,
+            help="queue executor only: shared queue directory workers attach "
+            f"to (default: {DEFAULT_QUEUE_DIR})",
         )
         p.add_argument(
             "--no-cache",
@@ -198,6 +233,53 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="DIR",
         help="shard cache directory to fold into --cache-dir (repeatable)",
+    )
+
+    p = sub.add_parser(
+        "worker",
+        help="attach to a queue executor's shared directory and execute "
+        "runs claimed via atomic file leases (multi-machine sweeps)",
+    )
+    p.add_argument(
+        "--queue-dir",
+        default=DEFAULT_QUEUE_DIR,
+        help=f"shared queue directory (default: {DEFAULT_QUEUE_DIR})",
+    )
+    p.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease-owner label (default: <hostname>-<pid>)",
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between scans for claimable tasks (default: 0.5)",
+    )
+    p.add_argument(
+        "--stale-after",
+        type=float,
+        default=DEFAULT_STALE_AFTER,
+        help="seconds without a heartbeat before another worker's lease "
+        f"counts as abandoned and is stolen (default: {DEFAULT_STALE_AFTER:g})",
+    )
+    p.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after executing this many runs (default: unlimited)",
+    )
+    p.add_argument(
+        "--forever",
+        action="store_true",
+        help="keep serving sweep after sweep instead of exiting once the "
+        "driver closes the queue",
+    )
+    p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-run progress output (used by drivers spawned "
+        "without --progress)",
     )
 
     p = sub.add_parser(
@@ -439,6 +521,42 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_executors() -> int:
+    rows = [
+        {"executor": name, "description": description}
+        for name, description in available_executors()
+    ]
+    print(
+        format_table(
+            rows,
+            title="Registered executor backends "
+            f"(run SWEEP --executor NAME; default: {DEFAULT_EXECUTOR})",
+        )
+    )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    if not args.quiet:
+        print(
+            f"worker: attaching to queue {args.queue_dir!r} "
+            f"(stale leases stolen after {args.stale_after:g}s)",
+            file=sys.stderr,
+        )
+    executed = run_worker(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        stale_after=args.stale_after,
+        max_tasks=args.max_tasks,
+        exit_when_closed=not args.forever,
+        progress=not args.quiet,
+    )
+    if not args.quiet:
+        print(f"worker: executed {executed} run(s) from {args.queue_dir}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
     spec = _customize(get_spec(args.sweep), args)
     cache_dir: Optional[str] = None if args.no_cache else args.cache_dir
@@ -449,6 +567,11 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
         )
         return 2
     shard = parse_shard(args.shard) if args.shard else None
+    # the queue backend is the only one with options; run_sweep resolves
+    # the name eagerly (RegistryError with alternatives) before any state
+    # is touched
+    executor = args.executor or spec.executor or DEFAULT_EXECUTOR
+    executor_options = {"queue_dir": args.queue_dir} if executor == "queue" else {}
     policy = _adaptive_policy(spec, args)
     adaptive: Optional[AdaptiveResult] = None
     if policy is not None:
@@ -460,6 +583,8 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
             progress=True,
             shard=shard,
             policy=policy,
+            executor=executor,
+            executor_options=executor_options,
         )
         results = adaptive.results
     else:
@@ -470,6 +595,8 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
             force=args.force,
             progress=True,
             shard=shard,
+            executor=executor,
+            executor_options=executor_options,
         )
     _print_summary(spec, results)
     if adaptive is not None:
@@ -643,6 +770,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list()
         if args.command == "protocols":
             return _cmd_protocols(args)
+        if args.command == "executors":
+            return _cmd_executors()
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "run":
             return _cmd_run(args, require_cache=False)
         if args.command == "resume":
@@ -653,9 +784,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_merge(args)
         if args.command == "perf":
             return _cmd_perf(args)
-    except (CliError, SpecError) as exc:
+    except (CliError, SpecError, RegistryError) as exc:
         print(f"{args.command}: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # a queue worker is normally detached by Ctrl-C; its completed
+        # work is already published, so this is a clean exit
+        print(f"{args.command}: interrupted", file=sys.stderr)
+        return 130
     except KeyError as exc:
         # unknown sweep name from the registry lookup
         print(f"{args.command}: {exc.args[0] if exc.args else exc}", file=sys.stderr)

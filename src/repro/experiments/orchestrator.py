@@ -11,10 +11,14 @@ is the engine that executes such grids:
 * :func:`expand_spec` -- turn a spec into concrete :class:`RunSpec`\\ s
   (the cross product of every grid axis and every seed, with
   deterministic per-run RNG seeding).
-* :func:`run_sweep` -- execute the runs, fanning them out over
-  ``multiprocessing`` workers, with an on-disk :class:`ResultCache` keyed
-  by a content hash of (config, duration, seed, code version) so
-  re-running a sweep only executes what changed.
+* :func:`run_sweep` -- execute the runs through a registered *executor
+  backend* (:mod:`repro.experiments.executors`: in-process ``serial``, a
+  ``process`` pool -- the default -- a ``thread`` pool, or a ``queue``
+  of file-leased runs drained by any number of worker processes or
+  machines), with an on-disk :class:`ResultCache` keyed by a content
+  hash of (config, duration, seed, code version) so re-running a sweep
+  only executes what changed.  The backend is sweep-cosmetic: it never
+  enters the cache key, so every executor produces the same cache.
 * :class:`RunResult` -- the typed record one run produces: the swept
   parameters, the seed, and a flat metrics dictionary.  JSON/CSV export
   via :func:`export_json` / :func:`export_csv`, mean +/- 95% CI
@@ -73,9 +77,11 @@ import os
 import re
 import sys
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.experiments.executors import Executor, make_executor
 from repro.experiments.scenarios import ScenarioConfig, config_axis_names
 from repro.registry import (
     MACS,
@@ -124,11 +130,20 @@ class AdaptiveCI:
     independently of every other point -- until it converges or hits
     ``max_seeds`` (recorded as ``unconverged``).
 
+    ``growth`` makes the batching *variance-aware*: while a point's
+    observed half-width is still far from the target (more than twice
+    it), its next batch is multiplied by ``growth`` (geometrically, so a
+    very noisy point reaches its seed budget in a few rounds instead of
+    many fixed-size ones); once within 2x of the target the batch resets
+    to ``batch`` so the point cannot badly overshoot the budget it
+    actually needs.  ``growth=1`` (the default) is plain fixed batching.
+
     The seed sequence is deterministic (:func:`adaptive_seed_sequence`):
     the spec's own ``seeds`` first, then successive integers.  Combined
     with the content-hash cache this makes adaptive runs resumable and
-    replayable -- the stopping decisions are a pure function of the
-    cached results, so a re-run against a warm cache executes nothing
+    replayable -- the stopping decisions (batch growth included: observed
+    half-widths are computed from cached results) are a pure function of
+    the cached results, so a re-run against a warm cache executes nothing
     and sharded runs merge byte-identically to unsharded ones.
     """
 
@@ -137,6 +152,7 @@ class AdaptiveCI:
     min_seeds: int = 3                #: replications before the first CI test
     max_seeds: int = 12               #: hard per-point budget
     batch: int = 2                    #: seeds added per expansion round
+    growth: float = 1.0               #: batch multiplier while half-width > 2x target
 
     def __post_init__(self) -> None:
         if not self.target_half_width > 0:
@@ -157,18 +173,23 @@ class AdaptiveCI:
             )
         if self.batch < 1:
             raise SpecError(f"adaptive batch must be >= 1, got {self.batch}")
+        if not self.growth >= 1:
+            raise SpecError(
+                f"adaptive growth must be >= 1 (1 = fixed batching), got "
+                f"{self.growth!r}"
+            )
 
-    def round_of(self, seed_index: int) -> int:
-        """Which adaptive round schedules the ``seed_index``-th replication.
+    def next_batch(self, current_batch: int, half_width: float) -> int:
+        """Size of a point's next seed batch, given its observed half-width.
 
-        Round 0 is the initial ``min_seeds`` block; each later round adds
-        one ``batch``.  Purely positional, so the provenance stamped onto
-        a :class:`RunResult` is identical whether the run executed live,
-        came from the cache, or was replayed from a merged shard cache.
+        Deterministic in the cached results: far from the target (more
+        than twice the target half-width) the batch grows by ``growth``
+        (at least +1 so ``growth`` just above 1 still makes progress);
+        close to it the batch resets to the policy's base ``batch``.
         """
-        if seed_index < self.min_seeds:
-            return 0
-        return 1 + (seed_index - self.min_seeds) // self.batch
+        if self.growth > 1 and half_width > 2 * self.target_half_width:
+            return max(current_batch + 1, int(math.ceil(current_batch * self.growth)))
+        return self.batch
 
 
 # ---------------------------------------------------------------------------
@@ -323,6 +344,12 @@ class SweepSpec:
     the fixed-seed view :func:`expand_spec` exposes to tooling that needs
     a static universe); :func:`run_sweep_adaptive` grows each grid
     point's seed set at runtime until the policy's CI target is met.
+
+    ``executor`` optionally names a registered execution backend
+    (:mod:`repro.experiments.executors`; ``None`` means the default
+    ``process`` pool).  Like every executor choice it is validated
+    eagerly and excluded from cache keys -- results are byte-identical
+    across backends.
     """
 
     name: str
@@ -335,6 +362,7 @@ class SweepSpec:
     before_run: Optional[str] = None
     during_run: Optional[str] = None
     replication: Optional[AdaptiveCI] = None
+    executor: Optional[str] = None
 
     @property
     def run_count(self) -> int:
@@ -813,7 +841,12 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: RunResult) -> None:
-        tmp = self._path(key) + ".tmp"
+        # unique tmp name: concurrent writers of the same key (possible
+        # when a queue worker's stale lease was reclaimed and both
+        # executions publish the same deterministic result) must not
+        # share a tmp path, or the loser's os.replace raises after the
+        # winner's rename already consumed it
+        tmp = f"{self._path(key)}.tmp-{uuid.uuid4().hex[:8]}"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh)
         os.replace(tmp, self._path(key))
@@ -872,44 +905,43 @@ def _execute_pending(
     record: Callable[[Any, RunResult], None],
     label: str,
     progress: bool,
+    executor: Optional[Executor] = None,
+    fresh: bool = False,
 ) -> List[tuple]:
     """Execute ``(key, RunSpec)`` pairs, calling ``record`` per result.
 
-    The shared engine under :func:`run_sweep` and the adaptive loop:
-    serial for one worker, a forked process pool otherwise.  Every run is
-    drained even when some fail -- completed work is always recorded (and
-    thereby cached) first -- and the ``(run_id, exception)`` failures are
+    The shared engine under :func:`run_sweep` and the adaptive loop,
+    shrunk to a dispatch through the executor registry
+    (:mod:`repro.experiments.executors`; ``executor=None`` instantiates
+    the default backend for this batch).  Every backend honours the same
+    drain contract: completed work is always recorded (and thereby
+    cached) even when other runs fail, failures are logged through the
+    same progress stream, and the ``(run_id, exception)`` failures are
     returned for the caller to raise on.
     """
     failures: List[tuple] = []
-    if len(pending) == 0:
-        pass
-    elif workers <= 1 or len(pending) == 1:
-        for key, run in pending:
-            try:
-                record(key, execute_run(run))
-            except Exception as exc:
-                failures.append((run.run_id, exc))
-                _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
-    else:
-        import concurrent.futures
-        import multiprocessing
 
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), mp_context=context
-        ) as pool:
-            futures = {pool.submit(execute_run, run): (key, run) for key, run in pending}
-            for future in concurrent.futures.as_completed(futures):
-                key, run = futures[future]
-                try:
-                    record(key, future.result())
-                except Exception as exc:
-                    failures.append((run.run_id, exc))
-                    _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
+    def fail(run: RunSpec, exc: Exception) -> None:
+        failures.append((run.run_id, exc))
+        _log(progress, f"[{label}] FAILED {run.run_id}: {exc!r}")
+
+    owned = executor is None
+    backend = executor if executor is not None else make_executor(None)
+    try:
+        if pending:
+            backend.map_runs(
+                list(pending),
+                execute_run,
+                record,
+                fail,
+                workers=workers,
+                label=label,
+                progress=progress,
+                fresh=fresh,
+            )
+    finally:
+        if owned:
+            backend.close()
     return failures
 
 
@@ -920,14 +952,27 @@ def run_sweep(
     force: bool = False,
     progress: bool = False,
     shard: Optional[Tuple[int, int]] = None,
+    executor: Optional[str] = None,
+    executor_options: Optional[Mapping[str, Any]] = None,
 ) -> List[RunResult]:
     """Execute every run of ``spec`` and return results in expansion order.
 
-    ``workers > 1`` fans pending runs out over a process pool.  With
-    ``cache_dir`` set, completed runs are persisted and later invocations
-    only execute cache misses (``force=True`` re-runs everything and
-    refreshes the cache).  Deterministic seeding makes this safe: a cached
-    result is bit-identical to re-running the same spec and seed.
+    ``executor`` names the registered execution backend (overriding
+    ``spec.executor``; default ``process``), resolved eagerly -- an
+    unknown name raises :class:`~repro.registry.RegistryError` listing
+    the alternatives before anything executes.  ``executor_options`` are
+    backend keyword arguments (the ``queue`` backend takes ``queue_dir``
+    etc.).  ``workers`` is the backend's parallelism: pool size for
+    ``process``/``thread``, locally spawned worker processes for
+    ``queue`` (0 = externally attached workers only), ignored by
+    ``serial``.  The backend never enters cache keys or artifacts, so
+    results are byte-identical across executors.
+
+    With ``cache_dir`` set, completed runs are persisted and later
+    invocations only execute cache misses (``force=True`` re-runs
+    everything and refreshes the cache).  Deterministic seeding makes
+    this safe: a cached result is bit-identical to re-running the same
+    spec and seed.
 
     ``shard=(index, count)`` executes only that 1-based shard of the
     expansion (see :func:`shard_runs`): ``count`` jobs sharing nothing but
@@ -941,42 +986,48 @@ def run_sweep(
         runs = shard_runs(runs, *shard)
         label = f"{spec.name} shard {shard[0]}/{shard[1]}"
     validate_runs(runs)
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    backend = make_executor(executor or spec.executor, **dict(executor_options or {}))
+    try:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
 
-    results: Dict[int, RunResult] = {}
-    pending: List[tuple] = []          # (index, RunSpec)
-    for index, run in enumerate(runs):
-        cached = cache.get(run.cache_key()) if cache is not None and not force else None
-        if cached is not None:
-            _restamp(cached, run)      # cosmetic: report under this sweep's id
-            results[index] = cached
-        else:
-            pending.append((index, run))
+        results: Dict[int, RunResult] = {}
+        pending: List[tuple] = []          # (index, RunSpec)
+        for index, run in enumerate(runs):
+            cached = cache.get(run.cache_key()) if cache is not None and not force else None
+            if cached is not None:
+                _restamp(cached, run)      # cosmetic: report under this sweep's id
+                results[index] = cached
+            else:
+                pending.append((index, run))
 
-    hit_count = len(runs) - len(pending)
-    _log(
-        progress,
-        f"[{label}] {len(runs)} runs: {hit_count} cache hits, "
-        f"{len(pending)} to execute on {max(1, workers)} worker(s)",
-    )
-
-    done = 0
-
-    def record(index: int, result: RunResult) -> None:
-        nonlocal done
-        results[index] = result
-        if cache is not None:
-            cache.put(result.cache_key, result)
-        done += 1
-        pdr = result.metrics.get("pdr")
-        pdr_note = f" pdr={pdr:.3f}" if isinstance(pdr, float) else ""
+        hit_count = len(runs) - len(pending)
         _log(
             progress,
-            f"[{label}] ({done}/{len(pending)}) {result.run_id}"
-            f"{pdr_note} ({result.wall_time:.1f}s)",
+            f"[{label}] {len(runs)} runs: {hit_count} cache hits, "
+            f"{len(pending)} to execute on {backend.describe(workers)}",
         )
 
-    failures = _execute_pending(pending, workers, record, label, progress)
+        done = 0
+
+        def record(index: int, result: RunResult) -> None:
+            nonlocal done
+            results[index] = result
+            if cache is not None:
+                cache.put(result.cache_key, result)
+            done += 1
+            pdr = result.metrics.get("pdr")
+            pdr_note = f" pdr={pdr:.3f}" if isinstance(pdr, float) else ""
+            _log(
+                progress,
+                f"[{label}] ({done}/{len(pending)}) {result.run_id}"
+                f"{pdr_note} ({result.wall_time:.1f}s)",
+            )
+
+        failures = _execute_pending(
+            pending, workers, record, label, progress, executor=backend, fresh=force
+        )
+    finally:
+        backend.close()
 
     if failures:
         completed = len(runs) - len(failures)
@@ -1095,16 +1146,19 @@ def _adaptive_sweep(
     shard: Optional[Tuple[int, int]],
     cache_only: bool,
     version: Optional[int],
+    backend: Optional[Executor] = None,
 ) -> Tuple[AdaptiveResult, List[str]]:
     """The sequential-sampling loop shared by live runs and cache replay.
 
     Every round schedules the next seed block for each still-active grid
-    point, resolves it against the cache, executes the misses (or, with
-    ``cache_only``, records them as missing and marks the point
-    ``incomplete``), then re-tests each point's CI half-width.  Stopping
-    decisions depend only on the deterministic seed schedule and the
-    per-run results, so a replay over a warm (or merged shard) cache
-    reproduces the exact run set without executing anything.
+    point (sized by the policy's -- possibly variance-aware -- batching),
+    resolves it against the cache, executes the misses through the chosen
+    executor backend (or, with ``cache_only``, records them as missing
+    and marks the point ``incomplete``), then re-tests each point's CI
+    half-width.  Stopping decisions -- batch growth included -- depend
+    only on the deterministic seed schedule and the per-run results, so a
+    replay over a warm (or merged shard) cache reproduces the exact run
+    set without executing anything.
     """
     points = expand_points(spec)
     for point in points:
@@ -1124,6 +1178,8 @@ def _adaptive_sweep(
     collected: List[List[RunResult]] = [[] for _ in points]
     rounds: List[int] = [0] * len(points)
     status: List[str] = [""] * len(points)
+    #: next seed-batch size per point; grows under a variance-aware policy
+    batch_size: List[int] = [policy.batch] * len(points)
     missing: List[str] = []
     report = AdaptiveResult(sweep=spec.name, policy=policy)
 
@@ -1131,14 +1187,18 @@ def _adaptive_sweep(
     validated = False
     round_idx = 0
     while active:
-        # 1. schedule this round's seed block per active point
+        # 1. schedule this round's seed block per active point.  The
+        # stamped provenance is the scheduling round itself: positional
+        # under fixed batching, and still deterministic under
+        # variance-aware growth (batch sizes derive from cached results),
+        # so live runs, cache hits and replays all stamp the same rounds.
         scheduled: List[Tuple[Tuple[int, int], RunSpec]] = []
         for pi in active:
             have = len(collected[pi])
             want = (
                 policy.min_seeds
                 if round_idx == 0
-                else min(have + policy.batch, policy.max_seeds)
+                else min(have + batch_size[pi], policy.max_seeds)
             )
             scheduled.extend(
                 ((pi, si), point_run(spec, points[pi], seeds[si]))
@@ -1159,7 +1219,7 @@ def _adaptive_sweep(
                 else None
             )
             if cached is not None:
-                _restamp(cached, run, adaptive_round=policy.round_of(key[1]))
+                _restamp(cached, run, adaptive_round=round_idx)
                 staged[key] = cached
                 report.cached += 1
             elif cache_only:
@@ -1172,7 +1232,12 @@ def _adaptive_sweep(
             progress,
             f"[{label}] round {round_idx}: {len(active)} point(s) active, "
             f"{len(scheduled)} run(s): {len(scheduled) - len(pending)} cache "
-            f"hits, {len(pending)} to execute on {max(1, workers)} worker(s)",
+            f"hits, {len(pending)} to execute on "
+            + (
+                backend.describe(workers)
+                if backend is not None
+                else f"{max(1, workers)} worker(s)"
+            ),
         )
 
         # 3. execute the misses (never entered during cache-only replay)
@@ -1180,7 +1245,7 @@ def _adaptive_sweep(
 
         def record(key: Tuple[int, int], result: RunResult) -> None:
             nonlocal done
-            result.adaptive_round = policy.round_of(key[1])
+            result.adaptive_round = round_idx
             staged[key] = result
             if cache is not None:
                 cache.put(result.cache_key, result)
@@ -1191,7 +1256,9 @@ def _adaptive_sweep(
                 f"({result.wall_time:.1f}s)",
             )
 
-        failures = _execute_pending(pending, workers, record, label, progress)
+        failures = _execute_pending(
+            pending, workers, record, label, progress, executor=backend, fresh=force
+        )
         report.executed += len(pending) - len(failures)
         if failures:
             detail = "; ".join(f"{rid}: {exc!r}" for rid, exc in failures[:5])
@@ -1239,6 +1306,7 @@ def _adaptive_sweep(
                     f"{policy.target_half_width:g})",
                 )
             else:
+                batch_size[pi] = policy.next_batch(batch_size[pi], half_width)
                 next_active.append(pi)
         active = next_active
 
@@ -1280,16 +1348,24 @@ def run_sweep_adaptive(
     progress: bool = False,
     shard: Optional[Tuple[int, int]] = None,
     policy: Optional[AdaptiveCI] = None,
+    executor: Optional[str] = None,
+    executor_options: Optional[Mapping[str, Any]] = None,
 ) -> AdaptiveResult:
     """Execute ``spec`` under adaptive replication and return the report.
 
     ``policy`` overrides ``spec.replication`` (one of the two must be
     set).  Each grid point starts at ``policy.min_seeds`` replications
-    and grows by ``policy.batch`` per round until the 95% CI half-width
-    of ``policy.metric`` is at most ``policy.target_half_width`` or
-    ``max_seeds`` is exhausted (``unconverged``).  The content-hash cache
-    is consulted before every execution, so resuming, re-running, and
-    replaying merged shard caches all cost zero executions once warm.
+    and grows by ``policy.batch`` per round -- multiplied by
+    ``policy.growth`` while the point's half-width is still more than
+    twice the target -- until the 95% CI half-width of ``policy.metric``
+    is at most ``policy.target_half_width`` or ``max_seeds`` is exhausted
+    (``unconverged``).  The content-hash cache is consulted before every
+    execution, so resuming, re-running, and replaying merged shard caches
+    all cost zero executions once warm.
+
+    ``executor``/``executor_options`` choose the execution backend
+    exactly as in :func:`run_sweep` (one backend instance serves every
+    adaptive round, so queue workers stay attached across rounds).
 
     ``shard=(index, count)`` restricts the sweep to a round-robin shard
     of the *grid points* (seeds of one point never split across jobs --
@@ -1302,18 +1378,23 @@ def run_sweep_adaptive(
             f"sweep {spec.name!r} has no adaptive replication policy: attach "
             "SweepSpec(replication=AdaptiveCI(...)) or pass policy="
         )
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    report, _missing = _adaptive_sweep(
-        spec,
-        policy,
-        workers=workers,
-        cache=cache,
-        force=force,
-        progress=progress,
-        shard=shard,
-        cache_only=False,
-        version=None,
-    )
+    backend = make_executor(executor or spec.executor, **dict(executor_options or {}))
+    try:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        report, _missing = _adaptive_sweep(
+            spec,
+            policy,
+            workers=workers,
+            cache=cache,
+            force=force,
+            progress=progress,
+            shard=shard,
+            cache_only=False,
+            version=None,
+            backend=backend,
+        )
+    finally:
+        backend.close()
     return report
 
 

@@ -395,6 +395,36 @@ register_spec(
     )
 )
 
+# derived from e5_availability (same base, grid and collector, by
+# construction).  Availability is the most seed-sensitive figure in the
+# evaluation -- which fraction of a random backbone the failure hook
+# destroys, and how the survivors reconverge, swings run to run -- so
+# seeds are added per (protocol, failure-fraction) point until the
+# availability 95% CI half-width reaches 0.05.  The variance-aware
+# growth factor doubles a point's batch while it is still far (>2x)
+# from the target, so catastrophically noisy points reach their seed
+# budget in a few rounds.
+register_spec(
+    dataclasses.replace(
+        get_spec("e5_availability"),
+        name="e5_availability_adaptive",
+        description="E5 under adaptive replication: mid-run cluster-head "
+        "destruction makes availability highly seed-sensitive, so each "
+        "(protocol, failure-fraction) point gets seeds until the "
+        "availability 95% CI half-width drops to 0.05 (max 10 seeds/point, "
+        "variance-aware batch growth).",
+        seeds=(29, 30, 31),
+        replication=AdaptiveCI(
+            target_half_width=0.05,
+            metric="availability",
+            min_seeds=3,
+            max_seeds=10,
+            batch=2,
+            growth=2.0,
+        ),
+    )
+)
+
 #: shared base of the two E8 grids (membership under group churn)
 _E8_BASE = ScenarioConfig(
     protocol="hvdb",
@@ -562,5 +592,30 @@ register_spec(
         seeds=(41,),
         duration=90.0,
         collector="qos_satisfaction_250ms",
+    )
+)
+
+# derived from e7_qos_load (same base, grid and collector, by
+# construction): QoS satisfaction under load depends on which sources
+# happen to contend, so the loaded points (6-10 concurrent sessions)
+# need far more seeds than the light ones -- exactly the shape adaptive
+# per-point stopping exploits
+register_spec(
+    dataclasses.replace(
+        get_spec("e7_qos_load"),
+        name="e7_qos_adaptive",
+        description="E7 under adaptive replication: the 250 ms QoS "
+        "satisfaction ratio gets noisier as concurrent CBR sessions grow, "
+        "so each load level gets seeds until its 95% CI half-width drops "
+        "to 0.05 (max 10 seeds/point, variance-aware batch growth).",
+        seeds=(41, 42, 43),
+        replication=AdaptiveCI(
+            target_half_width=0.05,
+            metric="qos_satisfaction",
+            min_seeds=3,
+            max_seeds=10,
+            batch=2,
+            growth=2.0,
+        ),
     )
 )

@@ -89,9 +89,9 @@ class TestPolicyValidation:
         with pytest.raises(SpecError, match="metric"):
             AdaptiveCI(target_half_width=0.1, metric="")
 
-    def test_round_of_is_positional(self):
-        policy = AdaptiveCI(target_half_width=0.1, min_seeds=2, max_seeds=8, batch=2)
-        assert [policy.round_of(i) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+    def test_growth_below_one_rejected(self):
+        with pytest.raises(SpecError, match="growth"):
+            AdaptiveCI(target_half_width=0.1, growth=0.99)
 
 
 class TestSeedSequence:
@@ -376,3 +376,108 @@ class TestCliAdaptive:
         )
         assert code == 0
         assert "adaptive replication on 'pdr'" in capsys.readouterr().out
+
+
+class TestVarianceAwareBatching:
+    """growth > 1 doubles down on points still far (>2x) from the target."""
+
+    def test_growth_below_one_rejected(self):
+        with pytest.raises(SpecError, match="growth"):
+            AdaptiveCI(target_half_width=0.1, growth=0.5)
+
+    def test_next_batch_grows_geometrically_while_far(self):
+        policy = AdaptiveCI(target_half_width=0.1, batch=1, growth=2.0)
+        far = 10 * policy.target_half_width
+        assert policy.next_batch(1, far) == 2
+        assert policy.next_batch(2, far) == 4
+        assert policy.next_batch(4, far) == 8
+
+    def test_next_batch_resets_once_near_target(self):
+        policy = AdaptiveCI(target_half_width=0.1, batch=2, growth=2.0)
+        near = 1.5 * policy.target_half_width
+        assert policy.next_batch(8, near) == policy.batch
+
+    def test_fixed_policy_never_grows(self):
+        policy = AdaptiveCI(target_half_width=0.1, batch=3)  # growth=1
+        assert policy.next_batch(3, 10 * policy.target_half_width) == 3
+
+    def test_fractional_growth_still_makes_progress(self):
+        policy = AdaptiveCI(target_half_width=0.1, batch=1, growth=1.01)
+        assert policy.next_batch(1, 10 * policy.target_half_width) == 2
+
+    def test_growth_cuts_rounds_on_very_noisy_points(self, tmp_path):
+        # seed_metric never converges at a 1e-6 target, so both policies
+        # exhaust max_seeds=8 -- fixed batch=1 in 7 rounds, growth=2.0 in
+        # 3 (the batch doubles after every far-from-target test, initial
+        # block included: blocks of 2, 2, 4).  The cache is shared: the policy is
+        # not part of the cache key, so the grown sweep replays the fixed
+        # sweep's runs and executes nothing new.
+        cache_dir = str(tmp_path / "cache")
+        base = dict(grid={"n_nodes": [10]}, collector="seed_metric")
+        fixed = tiny_spec(
+            **base,
+            replication=AdaptiveCI(
+                target_half_width=1e-6, metric="seed_metric",
+                min_seeds=2, max_seeds=8, batch=1,
+            ),
+        )
+        grown = tiny_spec(
+            **base,
+            replication=AdaptiveCI(
+                target_half_width=1e-6, metric="seed_metric",
+                min_seeds=2, max_seeds=8, batch=1, growth=2.0,
+            ),
+        )
+        fixed_report = run_sweep_adaptive(fixed, workers=1, cache_dir=cache_dir)
+        grown_report = run_sweep_adaptive(grown, workers=1, cache_dir=cache_dir)
+        (fixed_point,) = fixed_report.points
+        (grown_point,) = grown_report.points
+        assert fixed_point.rounds == 7
+        assert grown_point.rounds == 3
+        assert fixed_point.n_seeds == grown_point.n_seeds == 8
+        assert fixed_point.status == grown_point.status == "unconverged"
+        assert grown_report.executed == 0          # same runs, same cache keys
+        assert grown_report.cached == 8
+        assert [r.seed for r in grown_report.results] == [
+            r.seed for r in fixed_report.results
+        ]
+
+    def test_growth_round_provenance_follows_scheduling_rounds(self, tmp_path):
+        spec = tiny_spec(
+            grid={"n_nodes": [10]},
+            collector="seed_metric",
+            replication=AdaptiveCI(
+                target_half_width=1e-6, metric="seed_metric",
+                min_seeds=2, max_seeds=8, batch=1, growth=2.0,
+            ),
+        )
+        report = run_sweep_adaptive(spec, workers=1)
+        # rounds schedule seed blocks of 2, 2 (batch doubled once), then
+        # 4 (doubled again, capped by max_seeds)
+        assert [r.adaptive_round for r in report.results] == [0, 0, 1, 1, 2, 2, 2, 2]
+
+    def test_growth_replay_is_deterministic(self, tmp_path):
+        spec = tiny_spec(
+            grid={"n_nodes": [10]},
+            collector="seed_metric",
+            replication=AdaptiveCI(
+                target_half_width=1e-6, metric="seed_metric",
+                min_seeds=2, max_seeds=8, batch=1, growth=2.0,
+            ),
+        )
+        cache_dir = str(tmp_path / "cache")
+        live = run_sweep_adaptive(spec, workers=1, cache_dir=cache_dir)
+        again = run_sweep_adaptive(spec, workers=1, cache_dir=cache_dir)
+        assert again.executed == 0
+        replay, missing = load_adaptive_results(spec, cache_dir)
+        assert missing == []
+        for other in (again, replay):
+            assert [r.run_id for r in other.results] == [
+                r.run_id for r in live.results
+            ]
+            assert [r.adaptive_round for r in other.results] == [
+                r.adaptive_round for r in live.results
+            ]
+            assert [p.to_dict() for p in other.points] == [
+                p.to_dict() for p in live.points
+            ]
