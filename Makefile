@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke adaptive-smoke queue-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
+.PHONY: test bench-smoke adaptive-smoke queue-smoke store-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
 
 ## tier-1 test suite (fast, deterministic) -- must stay green
 test:
@@ -38,6 +38,31 @@ queue-smoke:
 	test -z "$$(ls $(QUEUE_SMOKE_DIR)/queue/tasks)"
 	@echo "make queue-smoke: OK (two queue workers, byte-identical artifacts, queue drained)"
 
+## seconds-long end-to-end check of the result-store backends: the
+## smoke grid run against a sqlite store must export CSV/JSON artifacts
+## byte-identical to a json-store run, a warm sqlite re-run must execute
+## nothing, migrate must round-trip the cache between backends, and the
+## store benchmark logs the json-vs-sqlite batch-scan ratio
+STORE_SMOKE_DIR := .ci/store-smoke
+store-smoke:
+	rm -rf $(STORE_SMOKE_DIR)
+	$(PYTHON) -m repro.experiments run smoke \
+	  --cache-dir $(STORE_SMOKE_DIR)/json-cache --out $(STORE_SMOKE_DIR)/json
+	$(PYTHON) -m repro.experiments run smoke \
+	  --cache-dir sqlite:$(STORE_SMOKE_DIR)/cache.db --out $(STORE_SMOKE_DIR)/sqlite
+	cmp $(STORE_SMOKE_DIR)/json/smoke.csv $(STORE_SMOKE_DIR)/sqlite/smoke.csv
+	$(PYTHON) -m repro.experiments run smoke \
+	  --cache-dir sqlite:$(STORE_SMOKE_DIR)/cache.db --format none 2>&1 \
+	  | grep -q "done: 12 cached + 0 executed" \
+	  || { echo "store gate: warm sqlite re-run executed runs (expected 0)"; exit 1; }
+	$(PYTHON) -m repro.experiments migrate \
+	  --from sqlite:$(STORE_SMOKE_DIR)/cache.db --to $(STORE_SMOKE_DIR)/migrated
+	$(PYTHON) -m repro.experiments export smoke \
+	  --cache-dir $(STORE_SMOKE_DIR)/migrated --out $(STORE_SMOKE_DIR)/migrated-out
+	cmp $(STORE_SMOKE_DIR)/sqlite/smoke.csv $(STORE_SMOKE_DIR)/migrated-out/smoke.csv
+	$(PYTHON) scripts/store_bench.py
+	@echo "make store-smoke: OK (byte-identical artifacts across stores, warm sqlite replay, migrate round-trip)"
+
 ## full benchmark suite regenerating the paper's evaluation (minutes)
 bench:
 	$(PYTHON) -m pytest -q benchmarks/
@@ -65,7 +90,7 @@ protocol-coverage:
 	$(PYTHON) -m repro.experiments protocols --check-coverage
 
 ## everything a PR must keep green
-check: test bench-smoke adaptive-smoke queue-smoke docs-check protocol-coverage
+check: test bench-smoke adaptive-smoke queue-smoke store-smoke docs-check protocol-coverage
 
 ## reproduce the CI pipeline (.github/workflows/ci.yml) locally:
 ## tier-1 tests, docs consistency (links included), the smoke sweep
@@ -73,8 +98,10 @@ check: test bench-smoke adaptive-smoke queue-smoke docs-check protocol-coverage
 ## reassemble the full grid, a wall-time diff against the committed
 ## baseline (loose tolerance across machines) plus a strict gate on a
 ## synthetic 2x regression, the adaptive smoke sweep (run + a
-## warm-cache re-run that must execute zero runs), and the queue-executor
-## smoke (two work-stealing workers, byte-identical artifacts)
+## warm-cache re-run that must execute zero runs), the queue-executor
+## smoke (two work-stealing workers, byte-identical artifacts), the
+## result-store smoke (sqlite vs json byte-equality + migrate), and a
+## perf-trend append judged against the trailing window
 CI_DIR := .ci
 ci: test docs-check protocol-coverage
 	rm -rf $(CI_DIR)
@@ -104,4 +131,8 @@ ci: test docs-check protocol-coverage
 	  | grep -q "; 0 executed +" \
 	  || { echo "adaptive gate: warm-cache re-run executed runs (expected 0)"; exit 1; }
 	$(MAKE) queue-smoke
-	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive, queue)"
+	$(MAKE) store-smoke
+	$(PYTHON) -m repro.experiments perf smoke \
+	  --current $(CI_DIR)/artifacts/smoke.json \
+	  --trend $(CI_DIR)/trend.jsonl --tolerance 10
+	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive, queue, store, trend)"

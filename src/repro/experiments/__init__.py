@@ -27,15 +27,28 @@
 * :mod:`repro.experiments.specs` -- the registry of named sweeps (the
   benchmark grids E2/E3/E5/E6/E7/E8/A1/A2, the example scenarios, a
   smoke sweep) plus their registered hooks and collectors.
+* :mod:`repro.experiments.stores` -- registry-driven *result-store
+  backends* behind every cache path: the default ``json``
+  directory-of-files layout, a single-file columnar ``sqlite`` store
+  (WAL, concurrent-writer safe), and a ``parquet`` store when pyarrow
+  is importable.  Everywhere a cache path is accepted, a store spec
+  like ``sqlite:results.db`` picks the backend; like the executor, the
+  store never enters cache keys, so artifacts are byte-identical across
+  backends and caches migrate freely (:func:`merge_caches`).
 * :mod:`repro.experiments.perf` -- wall-time perf-regression tracking:
-  compare the per-run wall times of two result sets (cache directories,
-  exported artifacts, or cache generations) point by point.
+  compare the per-run wall times of two result sets (result stores,
+  exported artifacts, or cache generations) point by point, and append
+  per-point medians to a JSONL *trend* history judged against the
+  trailing median of the last few entries (:func:`check_trend`).
 * ``python -m repro.experiments`` -- CLI over the registry:
-  ``list`` / ``run`` / ``resume`` / ``export`` / ``merge`` / ``perf`` /
+  ``list`` / ``run`` / ``resume`` / ``export`` / ``merge`` /
+  ``migrate`` / ``perf`` /
   ``protocols`` (registered components + spec-coverage check) /
-  ``executors`` (registered backends) / ``worker`` (attach to a queue
-  directory), with ``--shard I/N`` splitting a grid across
-  share-nothing CI jobs and ``--executor NAME`` picking the backend.
+  ``executors`` (registered backends) / ``stores`` (registered result
+  stores) / ``worker`` (attach to a queue directory), with ``--shard
+  I/N`` splitting a grid across share-nothing CI jobs, ``--executor
+  NAME`` picking the execution backend and ``--store NAME`` the
+  persistence backend.
 
 Minimal single run::
 
@@ -120,12 +133,34 @@ from repro.registry import (
 )
 from repro.simulation.stack import AgentStack, ProtocolStack
 from repro.experiments.perf import (
+    DEFAULT_TREND_WINDOW,
     PerfReport,
     PointComparison,
+    TrendEntry,
+    TrendPoint,
+    TrendReport,
+    append_trend,
+    check_trend,
     compare_wall_times,
     load_results,
+    load_trend,
     mann_whitney_p,
+    trend_entry,
     wall_time_groups,
+)
+from repro.experiments.stores import (
+    DEFAULT_STORE,
+    STORES,
+    JsonStore,
+    ResultStore,
+    SqliteStore,
+    StoreError,
+    available_stores,
+    make_store,
+    parse_store_spec,
+    register_store,
+    store_exists,
+    unavailable_stores,
 )
 from repro.experiments.specs import (
     SPECS,
@@ -185,6 +220,26 @@ __all__ = [
     "load_results",
     "mann_whitney_p",
     "wall_time_groups",
+    "DEFAULT_TREND_WINDOW",
+    "TrendEntry",
+    "TrendPoint",
+    "TrendReport",
+    "trend_entry",
+    "append_trend",
+    "load_trend",
+    "check_trend",
+    "DEFAULT_STORE",
+    "STORES",
+    "ResultStore",
+    "JsonStore",
+    "SqliteStore",
+    "StoreError",
+    "register_store",
+    "make_store",
+    "store_exists",
+    "parse_store_spec",
+    "available_stores",
+    "unavailable_stores",
     "summarize",
     "mean_ci95",
     "export_csv",

@@ -5,12 +5,15 @@
     python -m repro.experiments list
     python -m repro.experiments protocols [--check-coverage]
     python -m repro.experiments executors
-    python -m repro.experiments run SWEEP [--executor NAME] [--workers N] ...
+    python -m repro.experiments stores
+    python -m repro.experiments run SWEEP [--executor NAME] [--store NAME] ...
     python -m repro.experiments resume SWEEP [...]
     python -m repro.experiments worker --queue-dir DIR [--stale-after S]
     python -m repro.experiments export SWEEP --out DIR [...]
     python -m repro.experiments merge SWEEP --cache-dir DEST --from DIR ...
+    python -m repro.experiments migrate --from SPEC --to SPEC
     python -m repro.experiments perf SWEEP --baseline PATH --current PATH
+    python -m repro.experiments perf SWEEP --current PATH --trend FILE
 
 ``run`` executes a registered sweep (see ``list``) through a registered
 *executor backend* (see ``executors``: in-process ``serial``, the
@@ -25,6 +28,15 @@ until the driver closes the queue (see ``docs/executors.md``).
 ``export`` rebuilds the CSV/JSON artifacts purely from cached results
 without running anything.
 
+The cache lives behind a registered *result-store backend* (see
+``stores``; ``docs/result-store.md``): everywhere a cache path is
+accepted, a bare path means the default ``json`` directory layout and a
+store spec like ``sqlite:results.db`` selects another backend
+(``--store NAME`` names it explicitly).  The store is sweep-cosmetic --
+excluded from cache keys, byte-identical artifacts -- and ``migrate``
+copies a cache between backends (it is ``merge`` without a sweep:
+content-hash keys make it idempotent).
+
 A sweep whose spec carries an :class:`~repro.experiments.orchestrator.
 AdaptiveCI` replication policy runs *adaptively*: each grid point adds
 replication seeds until the 95% CI half-width of the policy's metric
@@ -38,9 +50,15 @@ slice of the grid (of the *grid points* when adaptive, so one point's
 growing seed set never splits across jobs), so N CI jobs sharing nothing
 but their cache directories cover the sweep exactly once; ``merge`` then
 folds the shard caches together and exports the full artifact set, and
-``perf`` diffs the per-run wall times of two result sets (cache dirs,
+``perf`` diffs the per-run wall times of two result sets (stores,
 exported JSON artifacts, or cache generations) and exits non-zero on a
-regression.
+regression.  ``perf --trend FILE`` additionally appends the current
+per-point medians to a JSONL trend history and judges them against the
+trailing median of the last ``--trend-window`` entries -- the gate as a
+trajectory instead of a single frozen baseline; ``--accept`` blesses a
+deliberate slowdown (resetting the trend reference and, with
+``--baseline``, rewriting the baseline artifact from the current
+results).
 
 ``protocols`` lists every registered pluggable component (protocol
 stacks, radios, MACs, mobility models) and, with ``--check-coverage``,
@@ -82,11 +100,25 @@ from repro.experiments.orchestrator import (
 )
 from repro.experiments.perf import (
     DEFAULT_TOLERANCE,
+    DEFAULT_TREND_WINDOW,
     PerfReport,
+    TrendReport,
+    append_trend,
+    check_trend,
     compare_wall_times,
     load_results,
+    load_trend,
+    trend_entry,
 )
 from repro.experiments.specs import available_specs, get_spec
+from repro.experiments.stores import (
+    DEFAULT_STORE,
+    StoreError,
+    available_stores,
+    parse_store_spec,
+    store_exists,
+    unavailable_stores,
+)
 from repro.metrics.collectors import format_table
 from repro.registry import RegistryError
 
@@ -120,12 +152,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered run-execution backends (--executor choices)",
     )
 
+    sub.add_parser(
+        "stores",
+        help="list registered result-store backends (--store choices / "
+        "store-spec prefixes)",
+    )
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("sweep", help="registered sweep name (see `list`)")
         p.add_argument(
             "--cache-dir",
             default=DEFAULT_CACHE_DIR,
-            help=f"run-result cache directory (default: {DEFAULT_CACHE_DIR})",
+            help="run-result cache: a directory, or a store spec like "
+            f"sqlite:results.db (default: {DEFAULT_CACHE_DIR})",
+        )
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="NAME",
+            help="result-store backend for --cache-dir (see `stores`); "
+            f"default: the spec's, else the path's prefix, else {DEFAULT_STORE!r}",
         )
         p.add_argument(
             "--out",
@@ -231,8 +277,39 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="sources",
         action="append",
         default=[],
-        metavar="DIR",
-        help="shard cache directory to fold into --cache-dir (repeatable)",
+        metavar="STORE",
+        help="shard cache (directory or store spec) to fold into "
+        "--cache-dir (repeatable)",
+    )
+
+    p = sub.add_parser(
+        "migrate",
+        help="copy every cache entry from one result store into another "
+        "(idempotent: content-hash keys make re-runs safe)",
+    )
+    p.add_argument(
+        "--from",
+        dest="sources",
+        action="append",
+        default=[],
+        metavar="STORE",
+        required=True,
+        help="source store (directory or store spec like json:dir, "
+        "sqlite:file.db; repeatable)",
+    )
+    p.add_argument(
+        "--to",
+        dest="dest",
+        required=True,
+        metavar="STORE",
+        help="destination store (created if missing)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="NAME",
+        help="backend for bare paths on both sides (see `stores`); "
+        "per-path prefixes win",
     )
 
     p = sub.add_parser(
@@ -284,19 +361,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "perf",
-        help="diff per-run wall times of two result sets and exit non-zero "
-        "on a regression beyond the tolerance",
+        help="diff per-run wall times against a baseline and/or a JSONL "
+        "trend history; exit non-zero on a regression beyond the tolerance",
     )
     p.add_argument("sweep", help="registered sweep name (see `list`)")
     p.add_argument(
         "--baseline",
-        required=True,
-        help="reference wall times: a results JSON artifact or a cache directory",
+        default=None,
+        help="reference wall times: a results JSON artifact, a cache "
+        "directory or a store spec (at least one of --baseline/--trend "
+        "is required)",
     )
     p.add_argument(
         "--current",
         required=True,
-        help="candidate wall times: a results JSON artifact or a cache directory",
+        help="candidate wall times: a results JSON artifact, a cache "
+        "directory or a store spec",
     )
     p.add_argument(
         "--tolerance",
@@ -304,6 +384,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_TOLERANCE,
         help="allowed fractional slowdown of a grid point's median wall time "
         f"before it counts as a regression (default: {DEFAULT_TOLERANCE})",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="NAME",
+        help="result-store backend for cache paths (see `stores`); also "
+        "recorded in appended trend entries",
+    )
+    p.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME",
+        help="measurement context recorded in appended trend entries "
+        "(which executor produced the current wall times)",
+    )
+    p.add_argument(
+        "--trend",
+        default=None,
+        metavar="FILE",
+        help="append the current per-point median wall times to this JSONL "
+        "trend history and check them against the trailing median of the "
+        "last --trend-window entries",
+    )
+    p.add_argument(
+        "--trend-window",
+        type=int,
+        default=DEFAULT_TREND_WINDOW,
+        metavar="K",
+        help="trailing trend entries the regression check medians over "
+        f"(default: {DEFAULT_TREND_WINDOW})",
+    )
+    p.add_argument(
+        "--accept",
+        action="store_true",
+        help="bless the current wall times: the appended trend entry is "
+        "marked accepted (resetting the trend reference window) and, with "
+        "--baseline pointing at a JSON artifact, the artifact is rewritten "
+        "from the current results; regressions then exit 0",
     )
     p.add_argument(
         "--baseline-cache-version",
@@ -340,6 +458,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 class CliError(Exception):
     """A user-input problem reported as a clean message, not a traceback."""
+
+
+def _store_path(path: str, store: Optional[str]) -> str:
+    """Apply ``--store`` to a bare cache path (an embedded prefix wins)."""
+    if store and parse_store_spec(path)[0] is None:
+        return f"{store}:{path}"
+    return path
+
+
+def _result_source_exists(path: str, store: Optional[str]) -> bool:
+    """True if ``path`` -- store spec, cache dir or JSON artifact -- exists."""
+    if store or parse_store_spec(path)[0] is not None:
+        return store_exists(path, store=store)
+    return os.path.exists(path)
 
 
 def _customize(spec: SweepSpec, args: argparse.Namespace) -> SweepSpec:
@@ -536,6 +668,26 @@ def _cmd_executors() -> int:
     return 0
 
 
+def _cmd_stores() -> int:
+    rows = [
+        {"store": name, "description": description}
+        for name, description in available_stores()
+    ]
+    print(
+        format_table(
+            rows,
+            title="Registered result-store backends "
+            f"(run SWEEP --store NAME, or prefix cache paths like "
+            f"sqlite:results.db; default: {DEFAULT_STORE})",
+        )
+    )
+    missing = unavailable_stores()
+    if missing:
+        for name, reason in missing:
+            print(f"(optional backend {name!r} not registered: {reason})")
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     if not args.quiet:
         print(
@@ -560,7 +712,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
     spec = _customize(get_spec(args.sweep), args)
     cache_dir: Optional[str] = None if args.no_cache else args.cache_dir
-    if require_cache and (cache_dir is None or not os.path.isdir(cache_dir)):
+    store = args.store or spec.store
+    if require_cache and (
+        cache_dir is None or not store_exists(cache_dir, store=store)
+    ):
         print(
             f"resume: no cache at {args.cache_dir!r} -- use `run` to start this sweep",
             file=sys.stderr,
@@ -571,7 +726,16 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
     # the name eagerly (RegistryError with alternatives) before any state
     # is touched
     executor = args.executor or spec.executor or DEFAULT_EXECUTOR
-    executor_options = {"queue_dir": args.queue_dir} if executor == "queue" else {}
+    executor_options = {}
+    if executor == "queue":
+        executor_options["queue_dir"] = args.queue_dir
+        # the queue's result store follows the sweep's, so worker
+        # publishing scales the same way the main cache does
+        queue_store = store or (
+            parse_store_spec(cache_dir)[0] if cache_dir is not None else None
+        )
+        if queue_store is not None:
+            executor_options["store"] = queue_store
     policy = _adaptive_policy(spec, args)
     adaptive: Optional[AdaptiveResult] = None
     if policy is not None:
@@ -585,6 +749,7 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
             policy=policy,
             executor=executor,
             executor_options=executor_options,
+            store=args.store,
         )
         results = adaptive.results
     else:
@@ -597,6 +762,7 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
             shard=shard,
             executor=executor,
             executor_options=executor_options,
+            store=args.store,
         )
     _print_summary(spec, results)
     if adaptive is not None:
@@ -613,18 +779,20 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     spec = _customize(get_spec(args.sweep), args)
-    if not os.path.isdir(args.cache_dir):
-        print(f"export: no cache directory at {args.cache_dir!r}", file=sys.stderr)
+    if not store_exists(args.cache_dir, store=args.store or spec.store):
+        print(f"export: no result store at {args.cache_dir!r}", file=sys.stderr)
         return 2
     policy = _adaptive_policy(spec, args)
     adaptive: Optional[AdaptiveResult] = None
     if policy is not None:
         adaptive, missing_ids = load_adaptive_results(
-            spec, args.cache_dir, policy=policy
+            spec, args.cache_dir, policy=policy, store=args.store
         )
         results = adaptive.results
     else:
-        results, missing_ids = load_cached_results(spec, args.cache_dir)
+        results, missing_ids = load_cached_results(
+            spec, args.cache_dir, store=args.store
+        )
     missing = len(missing_ids)
     if not results:
         print(
@@ -651,14 +819,16 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_merge(args: argparse.Namespace) -> int:
     spec = _customize(get_spec(args.sweep), args)
     if args.sources:
-        copied, skipped = merge_caches(args.sources, args.cache_dir)
+        copied, skipped = merge_caches(
+            args.sources, args.cache_dir, store=args.store
+        )
         print(
             f"merge: folded {len(args.sources)} shard cache(s) into "
             f"{args.cache_dir}: {copied} new entries, {skipped} already present"
         )
-    if not os.path.isdir(args.cache_dir):
+    if not store_exists(args.cache_dir, store=args.store or spec.store):
         print(
-            f"merge: no cache directory at {args.cache_dir!r} "
+            f"merge: no result store at {args.cache_dir!r} "
             "(use --from to fold shard caches into it)",
             file=sys.stderr,
         )
@@ -669,11 +839,15 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         # replay the adaptive stopping rule against the merged cache: the
         # run set is whatever the per-point CI tests demand, not a static
         # expansion, and any gap shows up as missing/incomplete below
-        adaptive, missing = load_adaptive_results(spec, args.cache_dir, policy=policy)
+        adaptive, missing = load_adaptive_results(
+            spec, args.cache_dir, policy=policy, store=args.store
+        )
         results = adaptive.results
         expected = "the adaptive replay"
     else:
-        results, missing = load_cached_results(spec, args.cache_dir)
+        results, missing = load_cached_results(
+            spec, args.cache_dir, store=args.store
+        )
         expected = f"{spec.run_count} runs"
     if missing:
         print(
@@ -693,48 +867,159 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     spec = _customize(get_spec(args.sweep), args)
-    for side, path in (("baseline", args.baseline), ("current", args.current)):
-        if not os.path.exists(path):
+    if args.baseline is None and args.trend is None:
+        raise CliError(
+            "nothing to compare against: pass --baseline PATH (two-point "
+            "diff) and/or --trend FILE (trajectory check)"
+        )
+    if args.accept and args.baseline is not None:
+        if parse_store_spec(args.baseline)[0] is not None or os.path.isdir(
+            args.baseline
+        ):
+            raise CliError(
+                "--accept rewrites a results JSON artifact; "
+                f"--baseline {args.baseline!r} is a result store"
+            )
+    sides = [("current", args.current)]
+    if args.baseline is not None:
+        sides.insert(0, ("baseline", args.baseline))
+    for side, path in sides:
+        if not _result_source_exists(path, args.store):
             print(f"perf: {side} {path!r} does not exist", file=sys.stderr)
             return 2
-    baseline = load_results(args.baseline, spec, cache_version=args.baseline_cache_version)
-    current = load_results(args.current, spec, cache_version=args.current_cache_version)
-    for side, results, path in (
-        ("baseline", baseline, args.baseline),
-        ("current", current, args.current),
-    ):
-        if not results:
-            print(
-                f"perf: {side} {path!r} holds no results for sweep "
-                f"{spec.name!r}",
-                file=sys.stderr,
-            )
-            return 2
-    report = compare_wall_times(
-        baseline, current, tolerance=args.tolerance, sweep=spec.name
+    current = load_results(
+        _store_path(args.current, args.store),
+        spec,
+        cache_version=args.current_cache_version,
     )
-    _print_perf(report)
-    if args.report:
-        os.makedirs(os.path.dirname(args.report) or ".", exist_ok=True)
-        with open(args.report, "w", encoding="utf-8") as fh:
-            json.dump(report.to_dict(), fh, indent=2)
-        print(f"wrote {args.report}")
-    if report.regressed:
-        return 1
-    # grid points present in the baseline but absent from the current set
-    # mean the comparison is incomplete (partial merge, changed grid) --
-    # that must not pass a CI gate as "no regression".  Points only in
-    # the current set (missing-baseline) are informational: new grid
-    # points simply have no reference trajectory yet.
-    missing_current = [p for p in report.points if p.status == "missing-current"]
-    if missing_current:
+    if not current:
         print(
-            f"perf: {len(missing_current)} grid point(s) have no current "
-            f"results (first: {missing_current[0].point}); the comparison "
-            "is incomplete",
+            f"perf: current {args.current!r} holds no results for sweep "
+            f"{spec.name!r}",
             file=sys.stderr,
         )
         return 2
+
+    exit_code = 0
+    report: Optional[PerfReport] = None
+    if args.baseline is not None:
+        baseline = load_results(
+            _store_path(args.baseline, args.store),
+            spec,
+            cache_version=args.baseline_cache_version,
+        )
+        if not baseline:
+            print(
+                f"perf: baseline {args.baseline!r} holds no results for "
+                f"sweep {spec.name!r}",
+                file=sys.stderr,
+            )
+            return 2
+        report = compare_wall_times(
+            baseline, current, tolerance=args.tolerance, sweep=spec.name
+        )
+        _print_perf(report)
+        if report.regressed:
+            exit_code = 1
+        else:
+            # grid points present in the baseline but absent from the
+            # current set mean the comparison is incomplete (partial
+            # merge, changed grid) -- that must not pass a CI gate as "no
+            # regression".  Points only in the current set
+            # (missing-baseline) are informational: new grid points
+            # simply have no reference trajectory yet.
+            missing_current = [
+                p for p in report.points if p.status == "missing-current"
+            ]
+            if missing_current:
+                print(
+                    f"perf: {len(missing_current)} grid point(s) have no "
+                    f"current results (first: {missing_current[0].point}); "
+                    "the comparison is incomplete",
+                    file=sys.stderr,
+                )
+                exit_code = 2
+
+    trend_report: Optional[TrendReport] = None
+    if args.trend is not None:
+        entry = trend_entry(
+            spec.name,
+            current,
+            store=args.store or parse_store_spec(args.current)[0] or "",
+            executor=args.executor or "",
+            accepted=args.accept,
+        )
+        append_trend(args.trend, entry)
+        print(f"perf: appended trend entry for {entry.commit[:12] or '(no commit)'} to {args.trend}")
+        trend_report = check_trend(
+            load_trend(args.trend, sweep=spec.name),
+            tolerance=args.tolerance,
+            window=args.trend_window,
+        )
+        _print_trend(trend_report)
+        if trend_report.regressed and exit_code == 0:
+            exit_code = 1
+
+    if args.report:
+        document = {
+            key: value.to_dict()
+            for key, value in (("comparison", report), ("trend", trend_report))
+            if value is not None
+        }
+        os.makedirs(os.path.dirname(args.report) or ".", exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(
+                document["comparison"] if list(document) == ["comparison"] else document,
+                fh,
+                indent=2,
+            )
+        print(f"wrote {args.report}")
+
+    if args.accept:
+        if args.baseline is not None:
+            export_json(current, args.baseline, spec=spec)
+            print(f"perf: accepted -- refreshed baseline {args.baseline}")
+        return 0
+    return exit_code
+
+
+def _print_trend(report: TrendReport) -> None:
+    rows = []
+    for point in report.points:
+        curve = " -> ".join(f"{v:g}" for v in point.curve[-5:])
+        rows.append(
+            {
+                "grid_point": point.point,
+                "trailing_s": (
+                    f"{point.trailing_median:g} (n={point.history_n})"
+                    if point.history_n
+                    else "-"
+                ),
+                "current_s": f"{point.current_median:g}",
+                "ratio": f"{point.ratio:g}" if point.ratio else "-",
+                "curve": curve,
+                "status": point.status,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"{report.sweep}: wall-time trend vs trailing median of "
+            f"{report.entries} entr{'y' if report.entries == 1 else 'ies'} "
+            f"(window {report.window}, tolerance {report.tolerance:g})",
+        )
+    )
+    counts = ", ".join(f"{n} {status}" for status, n in sorted(report.counts().items()))
+    verdict = "REGRESSED" if report.regressed else "ok"
+    print(f"perf trend: {verdict} ({counts or 'no grid points'})")
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    copied, skipped = merge_caches(args.sources, args.dest, store=args.store)
+    print(
+        f"migrate: {copied} entries copied into {args.dest}, "
+        f"{skipped} already present"
+    )
     return 0
 
 
@@ -772,6 +1057,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_protocols(args)
         if args.command == "executors":
             return _cmd_executors()
+        if args.command == "stores":
+            return _cmd_stores()
         if args.command == "worker":
             return _cmd_worker(args)
         if args.command == "run":
@@ -782,9 +1069,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_export(args)
         if args.command == "merge":
             return _cmd_merge(args)
+        if args.command == "migrate":
+            return _cmd_migrate(args)
         if args.command == "perf":
             return _cmd_perf(args)
-    except (CliError, SpecError, RegistryError) as exc:
+    except (CliError, SpecError, StoreError, RegistryError) as exc:
         print(f"{args.command}: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

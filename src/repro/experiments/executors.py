@@ -25,8 +25,10 @@ Four backends ship:
   that mounts the same filesystem (``python -m repro.experiments worker
   --queue-dir DIR``) -- claim individual runs via atomic file leases
   (``O_EXCL`` claim files with heartbeat + stale-lease reclaim) and
-  write results back through the existing content-hash
-  :class:`~repro.experiments.orchestrator.ResultCache` layout.
+  write results back through the queue's *result store* -- any backend
+  registered in :mod:`repro.experiments.stores` (the default ``json``
+  directory, or e.g. ``sqlite`` whose WAL mode lets every worker
+  publish into one database file concurrently).
 
 Which backend runs is a *sweep-cosmetic* choice: it is excluded from
 cache keys and artifacts, so a warm cache populated under one executor
@@ -38,8 +40,11 @@ Queue directory layout (see ``docs/executors.md`` for the protocol)::
     <queue-dir>/
       tasks/<key>.task     pickled RunSpec, one file per pending run
       claims/<key>.claim   O_EXCL lease; mtime is the worker's heartbeat
-      results/<key>.json   a ResultCache keyed by the run's cache_key
+      results/<key>.json   the result store, keyed by the run's cache_key
+                           (a sqlite-backed queue uses ``results.db``)
       errors/<key>.json    terminal per-run failure, reported to the driver
+      store                the driver's chosen result-store backend name
+                           (absent = the default ``json`` layout)
       closed               sentinel: the driver is done; idle workers exit
 
 Register third-party backends exactly like built-ins::
@@ -102,7 +107,7 @@ def make_executor(name: Optional[str], **options: Any) -> "Executor":
     any run executes, so a typo'd ``--executor`` fails like a typo'd
     protocol name.  ``options`` are backend keyword arguments (the
     ``queue`` backend takes ``queue_dir``/``poll_interval``/
-    ``stale_after``; the in-process backends take none).
+    ``stale_after``/``store``; the in-process backends take none).
     """
     return EXECUTORS.get(name or DEFAULT_EXECUTOR)(**options)
 
@@ -273,11 +278,15 @@ class WorkQueue:
     a fresh claim, so a crashed worker's run is re-executed instead of
     wedging the sweep.
 
-    Task ids are the runs' content-hash cache keys, which makes
-    ``results/`` literally a :class:`~repro.experiments.orchestrator.
-    ResultCache`: a worker publishes a finished run with ``cache.put``
-    and the driver polls ``cache.get`` -- the same on-disk contract every
-    other cache consumer (merge, export, perf) already speaks.
+    Task ids are the runs' content-hash cache keys, which makes the
+    queue's results literally a result store
+    (:mod:`repro.experiments.stores`): a worker publishes a finished run
+    with ``store.put`` and the driver polls ``store.get`` -- the same
+    on-disk contract every other cache consumer (merge, export, perf)
+    already speaks.  The driver records its chosen backend name in the
+    ``store`` file (:meth:`set_result_store`) *before* enqueuing tasks;
+    workers re-read it (:meth:`open_results`) so long-lived ``--forever``
+    workers follow the store across sweeps.
     """
 
     def __init__(self, root: str) -> None:
@@ -287,6 +296,7 @@ class WorkQueue:
         self.results_dir = os.path.join(root, "results")
         self.errors_dir = os.path.join(root, "errors")
         self.closed_path = os.path.join(root, "closed")
+        self.store_path = os.path.join(root, "store")
         # one shared probe per queue dir (not per process): any
         # participant's recent touch approximates "filesystem now", and a
         # fixed name leaves exactly one file instead of per-pid litter
@@ -364,12 +374,55 @@ class WorkQueue:
 
     # -- results -----------------------------------------------------------
 
+    def set_result_store(self, name: Optional[str]) -> None:
+        """Driver-side: record the sweep's result-store backend choice.
+
+        Written before any task is enqueued, so a worker that claims one
+        always publishes into the store the driver will poll.  ``None``
+        resets to the default (the file is removed), which keeps a queue
+        directory reusable across sweeps with different stores.
+        """
+        if name is None:
+            try:
+                os.unlink(self.store_path)
+            except FileNotFoundError:
+                pass
+            return
+        _atomic_write(self.store_path, f"{name}\n".encode("utf-8"))
+
+    def result_store_name(self) -> str:
+        """The backend name the driver recorded (default when absent)."""
+        from repro.experiments.stores import DEFAULT_STORE
+
+        try:
+            with open(self.store_path, "r", encoding="utf-8") as fh:
+                name = fh.read().strip()
+        except OSError:
+            return DEFAULT_STORE
+        return name or DEFAULT_STORE
+
+    def open_results(self) -> Any:
+        """Open this queue's result store at its conventional location.
+
+        Each backend declares where it lives relative to the queue root
+        (``results/`` for directory layouts, ``results.db`` for sqlite),
+        so every participant -- driver, workers, and a later ``merge`` of
+        the queue's results -- derives the same location from the queue
+        directory alone.
+        """
+        from repro.experiments.stores import STORES, ResultStore
+
+        factory = STORES.get(self.result_store_name())
+        relative = getattr(factory, "queue_filename", ResultStore.queue_filename)
+        return factory(os.path.join(self.root, relative))
+
     def discard_result(self, task_id: str) -> None:
         """Drop a published result (a ``--force`` sweep re-executes it)."""
+        store = self.open_results()
         try:
-            os.unlink(os.path.join(self.results_dir, f"{task_id}.json"))
-        except FileNotFoundError:
-            pass
+            store.delete(task_id)
+        finally:
+            store.close()
 
     # -- leases ------------------------------------------------------------
 
@@ -485,8 +538,10 @@ def run_worker(
     The worker loop behind ``python -m repro.experiments worker``: scan
     the task files, lease one (stealing abandoned leases whose heartbeat
     is older than ``stale_after``), execute it while a background thread
-    heartbeats the claim, publish the result through the queue's
-    :class:`~repro.experiments.orchestrator.ResultCache`, and move on.
+    heartbeats the claim, publish the result through the queue's result
+    store (whichever backend the driver recorded -- re-read every scan,
+    so a ``--forever`` worker follows the store across sweeps), and move
+    on.
     A run that raises is published as a terminal error (no retry loop --
     deterministic runs fail deterministically); a worker that *crashes*
     publishes nothing, its lease goes stale and another worker re-claims
@@ -499,12 +554,13 @@ def run_worker(
     the executed runs (mainly for tests).  ``execute`` defaults to
     :func:`~repro.experiments.orchestrator.execute_run`.
     """
-    from repro.experiments.orchestrator import ResultCache, execute_run
+    from repro.experiments.orchestrator import execute_run
 
     execute = execute or execute_run
     queue = WorkQueue(queue_dir)
     queue.ensure()
-    cache = ResultCache(queue.results_dir)
+    cache = queue.open_results()
+    store_name = queue.result_store_name()
     wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     if heartbeat_interval is None:
         heartbeat_interval = max(stale_after / 4.0, 0.05)
@@ -512,6 +568,12 @@ def run_worker(
     while True:
         if max_tasks is not None and executed >= max_tasks:
             return executed
+        # follow a driver that switched the queue's store between sweeps
+        current_store = queue.result_store_name()
+        if current_store != store_name:
+            cache.close()
+            store_name = current_store
+            cache = queue.open_results()
         claimed = None
         for task_id in queue.task_ids():
             if not queue.claim(task_id, wid, stale_after):
@@ -584,7 +646,9 @@ class QueueExecutor(Executor):
     task file, optionally spawn ``workers`` local worker processes
     (``python -m repro.experiments worker`` subprocesses; ``workers=0``
     relies entirely on externally attached workers), then poll the
-    queue's result cache, recording each run as its result lands.  On
+    queue's result store (``store`` names the backend; default ``json``,
+    recorded in the queue directory so workers publish into the same
+    backend), recording each run as its result lands.  On
     :meth:`close` the ``closed`` sentinel is written so idle workers
     drain and exit, and local workers are reaped.
 
@@ -600,14 +664,22 @@ class QueueExecutor(Executor):
         queue_dir: str = DEFAULT_QUEUE_DIR,
         poll_interval: float = 0.2,
         stale_after: float = DEFAULT_STALE_AFTER,
+        store: Optional[str] = None,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError(f"queue poll_interval must be > 0, got {poll_interval!r}")
         if stale_after <= 0:
             raise ValueError(f"queue stale_after must be > 0, got {stale_after!r}")
+        if store is not None:
+            # eager validation, like every registry lookup: a typo'd
+            # store must fail before any task is enqueued
+            from repro.experiments.stores import STORES
+
+            STORES.get(store)
         self.queue_dir = queue_dir
         self.poll_interval = poll_interval
         self.stale_after = stale_after
+        self.store = store
         self.queue = WorkQueue(queue_dir)
         self._procs: List[subprocess.Popen] = []
 
@@ -647,10 +719,11 @@ class QueueExecutor(Executor):
 
     def map_runs(self, pending, execute, record, fail, *, workers, label, progress,
                  fresh=False):
-        from repro.experiments.orchestrator import ResultCache
-
         self.queue.reopen()
-        cache = ResultCache(self.queue.results_dir)
+        # the store choice must land before the first task file: a worker
+        # that claims a task derives the result location from this record
+        self.queue.set_result_store(self.store)
+        cache = self.queue.open_results()
         # several pending entries may share one cache key (interchangeable
         # runs); execute once, record for every key
         by_task: Dict[str, List[tuple]] = {}

@@ -15,10 +15,15 @@ is the engine that executes such grids:
   backend* (:mod:`repro.experiments.executors`: in-process ``serial``, a
   ``process`` pool -- the default -- a ``thread`` pool, or a ``queue``
   of file-leased runs drained by any number of worker processes or
-  machines), with an on-disk :class:`ResultCache` keyed by a content
-  hash of (config, duration, seed, code version) so re-running a sweep
-  only executes what changed.  The backend is sweep-cosmetic: it never
-  enters the cache key, so every executor produces the same cache.
+  machines), with an on-disk result cache keyed by a content hash of
+  (config, duration, seed, code version) so re-running a sweep only
+  executes what changed.  The cache itself lives behind a registered
+  *store* backend (:mod:`repro.experiments.stores`: a ``json`` file
+  directory -- the default -- a single-file columnar ``sqlite`` table,
+  or ``parquet`` where pyarrow is installed).  Both backends are
+  sweep-cosmetic: neither the executor nor the store enters the cache
+  key, so every combination produces the same cache entries and
+  byte-identical artifacts.
 * :class:`RunResult` -- the typed record one run produces: the swept
   parameters, the seed, and a flat metrics dictionary.  JSON/CSV export
   via :func:`export_json` / :func:`export_csv`, mean +/- 95% CI
@@ -66,6 +71,7 @@ picklable across process boundaries.
 
 from __future__ import annotations
 
+import copy
 import csv
 import dataclasses
 import enum
@@ -77,12 +83,17 @@ import os
 import re
 import sys
 import time
-import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.executors import Executor, make_executor
 from repro.experiments.scenarios import ScenarioConfig, config_axis_names
+from repro.experiments.stores import (
+    JsonStore,
+    ResultStore,
+    make_store,
+    store_exists,
+)
 from repro.registry import (
     MACS,
     MOBILITY_MODELS,
@@ -350,6 +361,13 @@ class SweepSpec:
     ``process`` pool).  Like every executor choice it is validated
     eagerly and excluded from cache keys -- results are byte-identical
     across backends.
+
+    ``store`` optionally names a registered result-store backend
+    (:mod:`repro.experiments.stores`; ``None`` means the default
+    ``json`` directory layout, or whatever backend the cache path's
+    ``name:`` prefix selects).  Like the executor, the store is
+    sweep-cosmetic: excluded from cache keys, byte-identical artifacts
+    across backends.
     """
 
     name: str
@@ -363,6 +381,7 @@ class SweepSpec:
     during_run: Optional[str] = None
     replication: Optional[AdaptiveCI] = None
     executor: Optional[str] = None
+    store: Optional[str] = None
 
     @property
     def run_count(self) -> int:
@@ -701,23 +720,32 @@ def load_cached_results(
     cache_dir: str,
     version: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
+    store: Optional[str] = None,
+    store_options: Optional[Mapping[str, Any]] = None,
 ) -> Tuple[List["RunResult"], List[str]]:
-    """Rehydrate ``spec``'s runs from a cache directory, running nothing.
+    """Rehydrate ``spec``'s runs from a result store, running nothing.
 
     Returns the cached results in expansion order -- re-labelled with this
     spec's run ids and params, since the cache is keyed by content only --
-    plus the run ids of every cache miss.  ``version`` addresses an older
-    :data:`CACHE_VERSION` generation; ``shard`` restricts the expansion
-    to one shard.
+    plus the run ids of every cache miss.  ``cache_dir`` is a bare path
+    or a store spec (``"sqlite:runs.db"``); the whole expansion resolves
+    through one batch :meth:`~repro.experiments.stores.ResultStore.scan`.
+    ``version`` addresses an older :data:`CACHE_VERSION` generation;
+    ``shard`` restricts the expansion to one shard.
     """
-    cache = ResultCache(cache_dir)
+    cache = _open_cache(cache_dir, spec, store, store_options)
     runs = expand_spec(spec)
     if shard is not None:
         runs = shard_runs(runs, *shard)
+    keyed = [
+        (index, run, run.cache_key(version=version))
+        for index, run in enumerate(runs)
+    ]
+    hits = _resolve_cached(cache, keyed)
     results: List[RunResult] = []
     missing: List[str] = []
-    for run in runs:
-        cached = cache.get(run.cache_key(version=version))
+    for index, run, _key in keyed:
+        cached = hits.get(index)
         if cached is None:
             missing.append(run.run_id)
         else:
@@ -739,34 +767,100 @@ def _restamp(result: RunResult, run: RunSpec, adaptive_round: int = 0) -> None:
     result.adaptive_round = adaptive_round
 
 
-def merge_caches(sources: Sequence[str], dest: str) -> Tuple[int, int]:
-    """Fold shard cache directories into ``dest``; returns (copied, skipped).
+def _open_cache(
+    cache_dir: Optional[Any],
+    spec: Optional[SweepSpec] = None,
+    store: Optional[str] = None,
+    store_options: Optional[Mapping[str, Any]] = None,
+) -> Optional[ResultStore]:
+    """Resolve a sweep's result store; ``None`` stays ``None`` (no caching).
+
+    ``cache_dir`` is a bare path, a store spec (``"sqlite:runs.db"``) or
+    an already-open :class:`~repro.experiments.stores.ResultStore`.  An
+    explicit ``store`` wins over ``spec.store``, which wins over the
+    path's ``name:`` prefix, which wins over the ``json`` default.
+    """
+    if cache_dir is None:
+        return None
+    name = store or (spec.store if spec is not None else None)
+    return make_store(cache_dir, store=name, **dict(store_options or {}))
+
+
+def _resolve_cached(
+    cache: ResultStore, keyed: Sequence[Tuple[Any, RunSpec, str]]
+) -> Dict[Any, RunResult]:
+    """Batch-resolve ``(token, run, cache_key)`` triples; one store scan.
+
+    The hits come back as ``{token: RunResult}``.  Runs past the first
+    that share a cache key get a deep copy, so every consumer can be
+    :func:`_restamp`-ed under its own identity.
+    """
+    hits: Dict[Any, RunResult] = {}
+    if not keyed:
+        return hits
+    cached_map = dict(cache.scan([key for _token, _run, key in keyed]))
+    consumed: set = set()
+    for token, _run, key in keyed:
+        result = cached_map.get(key)
+        if result is None:
+            continue
+        if key in consumed:
+            result = copy.deepcopy(result)
+        consumed.add(key)
+        hits[token] = result
+    return hits
+
+
+def _warn_corrupt(cache: Optional[ResultStore], label: str, progress: bool) -> None:
+    """Surface the store's corrupt-entry count in the run summary."""
+    if cache is not None and cache.corrupt_entries:
+        _log(
+            progress,
+            f"[{label}] WARNING: {cache.corrupt_entries} corrupt cache "
+            f"entries in {cache.describe()} were ignored (the affected "
+            "runs re-executed; the rewrite heals the store)",
+        )
+
+
+def merge_caches(
+    sources: Sequence[str],
+    dest: str,
+    store: Optional[str] = None,
+    store_options: Optional[Mapping[str, Any]] = None,
+) -> Tuple[int, int]:
+    """Fold shard caches into ``dest``; returns (copied, skipped).
 
     Cache entries are named by content hash, so an entry already present
     in ``dest`` is identical to the incoming one and is skipped -- merging
-    is idempotent and order-independent.  Copies are atomic (tmp file +
-    rename), so a crashed merge never leaves a truncated entry.
+    is idempotent and order-independent.  Writes go through the store's
+    atomic :meth:`~repro.experiments.stores.ResultStore.put`, so a
+    crashed merge never leaves a truncated entry.  Sources and ``dest``
+    are store specs (or bare ``json`` directories); mixing backends is
+    how a cache migrates between layouts -- ``merge_caches(["json:old"],
+    "sqlite:new.db")`` is the migration recipe.
     """
+    options = dict(store_options or {})
     for src in sources:
-        if not os.path.isdir(src):
+        if not store_exists(src, store=store):
             raise SpecError(f"shard cache directory {src!r} does not exist")
-    os.makedirs(dest, exist_ok=True)
+    dest_store = make_store(dest, store=store, **options)
     copied = skipped = 0
-    for src in sources:
-        for name in sorted(os.listdir(src)):
-            if not name.endswith(".json"):
-                continue
-            target = os.path.join(dest, name)
-            if os.path.exists(target):
-                skipped += 1
-                continue
-            with open(os.path.join(src, name), "rb") as fh:
-                blob = fh.read()
-            tmp = target + ".tmp"
-            with open(tmp, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, target)
-            copied += 1
+    try:
+        existing = set(dest_store.keys())
+        for src in sources:
+            src_store = make_store(src, store=store, **options)
+            try:
+                for key, result in src_store.scan():
+                    if key in existing:
+                        skipped += 1
+                        continue
+                    dest_store.put(key, result)
+                    existing.add(key)
+                    copied += 1
+            finally:
+                src_store.close()
+    finally:
+        dest_store.close()
     return copied, skipped
 
 
@@ -815,41 +909,15 @@ class RunResult:
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
-class ResultCache:
-    """Disk cache of finished runs, one JSON file per content hash."""
+class ResultCache(JsonStore):
+    """Back-compat alias: the ``json`` result-store backend.
 
-    def __init__(self, directory: str) -> None:
-        self.directory = directory
-        self.hits = 0
-        self.misses = 0
-        os.makedirs(directory, exist_ok=True)
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.json")
-
-    def get(self, key: str) -> Optional[RunResult]:
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        result = RunResult.from_dict(data)
-        result.from_cache = True
-        return result
-
-    def put(self, key: str, result: RunResult) -> None:
-        # unique tmp name: concurrent writers of the same key (possible
-        # when a queue worker's stale lease was reclaimed and both
-        # executions publish the same deterministic result) must not
-        # share a tmp path, or the loser's os.replace raises after the
-        # winner's rename already consumed it
-        tmp = f"{self._path(key)}.tmp-{uuid.uuid4().hex[:8]}"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(result.to_dict(), fh)
-        os.replace(tmp, self._path(key))
+    Earlier releases hardwired result persistence to this class.  It is
+    now a thin subclass of :class:`repro.experiments.stores.JsonStore`
+    with identical layout and behaviour, so existing callers (and
+    existing cache directories) keep working unchanged while new code
+    picks backends through :data:`repro.experiments.stores.STORES`.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -954,6 +1022,8 @@ def run_sweep(
     shard: Optional[Tuple[int, int]] = None,
     executor: Optional[str] = None,
     executor_options: Optional[Mapping[str, Any]] = None,
+    store: Optional[str] = None,
+    store_options: Optional[Mapping[str, Any]] = None,
 ) -> List[RunResult]:
     """Execute every run of ``spec`` and return results in expansion order.
 
@@ -972,7 +1042,12 @@ def run_sweep(
     invocations only execute cache misses (``force=True`` re-runs
     everything and refreshes the cache).  Deterministic seeding makes
     this safe: a cached result is bit-identical to re-running the same
-    spec and seed.
+    spec and seed.  ``cache_dir`` is a bare path (the ``json`` backend),
+    a store spec like ``"sqlite:runs.db"``, or an open
+    :class:`~repro.experiments.stores.ResultStore`; ``store`` names the
+    backend explicitly (overriding ``spec.store``) and ``store_options``
+    are backend keyword arguments.  Like the executor, the store never
+    enters cache keys or artifacts.
 
     ``shard=(index, count)`` executes only that 1-based shard of the
     expansion (see :func:`shard_runs`): ``count`` jobs sharing nothing but
@@ -988,12 +1063,18 @@ def run_sweep(
     validate_runs(runs)
     backend = make_executor(executor or spec.executor, **dict(executor_options or {}))
     try:
-        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        cache = _open_cache(cache_dir, spec, store, store_options)
 
         results: Dict[int, RunResult] = {}
         pending: List[tuple] = []          # (index, RunSpec)
-        for index, run in enumerate(runs):
-            cached = cache.get(run.cache_key()) if cache is not None and not force else None
+        keyed = [(index, run, run.cache_key()) for index, run in enumerate(runs)]
+        hits = (
+            _resolve_cached(cache, keyed)  # one batch scan, not N point reads
+            if cache is not None and not force
+            else {}
+        )
+        for index, run, _key in keyed:
+            cached = hits.get(index)
             if cached is not None:
                 _restamp(cached, run)      # cosmetic: report under this sweep's id
                 results[index] = cached
@@ -1041,6 +1122,7 @@ def run_sweep(
             + f"): {detail}"
         )
 
+    _warn_corrupt(cache, label, progress)
     _log(
         progress,
         f"[{label}] done: {hit_count} cached + {len(pending)} executed",
@@ -1140,7 +1222,7 @@ def _adaptive_sweep(
     spec: SweepSpec,
     policy: AdaptiveCI,
     workers: int,
-    cache: Optional[ResultCache],
+    cache: Optional[ResultStore],
     force: bool,
     progress: bool,
     shard: Optional[Tuple[int, int]],
@@ -1208,16 +1290,21 @@ def _adaptive_sweep(
             validate_runs([run for _key, run in scheduled])
             validated = True
 
-        # 2. resolve against the cache; collect what must execute
+        # 2. resolve against the cache (one batch scan per round); collect
+        # what must execute
         staged: Dict[Tuple[int, int], RunResult] = {}
         pending: List[Tuple[Tuple[int, int], RunSpec]] = []
         incomplete = set()
-        for key, run in scheduled:
-            cached = (
-                cache.get(run.cache_key(version=version))
-                if cache is not None and not force
-                else None
-            )
+        keyed = [
+            (key, run, run.cache_key(version=version)) for key, run in scheduled
+        ]
+        hits = (
+            _resolve_cached(cache, keyed)
+            if cache is not None and not force
+            else {}
+        )
+        for key, run, _ck in keyed:
+            cached = hits.get(key)
             if cached is not None:
                 _restamp(cached, run, adaptive_round=round_idx)
                 staged[key] = cached
@@ -1330,6 +1417,7 @@ def _adaptive_sweep(
                 status=status[pi],
             )
         )
+    _warn_corrupt(cache, label, progress)
     _log(
         progress,
         f"[{label}] done: {len(report.converged)}/{len(points)} point(s) "
@@ -1350,6 +1438,8 @@ def run_sweep_adaptive(
     policy: Optional[AdaptiveCI] = None,
     executor: Optional[str] = None,
     executor_options: Optional[Mapping[str, Any]] = None,
+    store: Optional[str] = None,
+    store_options: Optional[Mapping[str, Any]] = None,
 ) -> AdaptiveResult:
     """Execute ``spec`` under adaptive replication and return the report.
 
@@ -1365,7 +1455,9 @@ def run_sweep_adaptive(
 
     ``executor``/``executor_options`` choose the execution backend
     exactly as in :func:`run_sweep` (one backend instance serves every
-    adaptive round, so queue workers stay attached across rounds).
+    adaptive round, so queue workers stay attached across rounds);
+    ``store``/``store_options`` choose the result-store backend exactly
+    as in :func:`run_sweep`.
 
     ``shard=(index, count)`` restricts the sweep to a round-robin shard
     of the *grid points* (seeds of one point never split across jobs --
@@ -1380,7 +1472,7 @@ def run_sweep_adaptive(
         )
     backend = make_executor(executor or spec.executor, **dict(executor_options or {}))
     try:
-        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        cache = _open_cache(cache_dir, spec, store, store_options)
         report, _missing = _adaptive_sweep(
             spec,
             policy,
@@ -1404,8 +1496,10 @@ def load_adaptive_results(
     version: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     policy: Optional[AdaptiveCI] = None,
+    store: Optional[str] = None,
+    store_options: Optional[Mapping[str, Any]] = None,
 ) -> Tuple[AdaptiveResult, List[str]]:
-    """Replay an adaptive sweep from a cache directory, running nothing.
+    """Replay an adaptive sweep from a result store, running nothing.
 
     The adaptive analogue of :func:`load_cached_results`: the stopping
     rule is re-evaluated against the cached results round by round, so
@@ -1426,7 +1520,7 @@ def load_adaptive_results(
         spec,
         policy,
         workers=1,
-        cache=ResultCache(cache_dir),
+        cache=_open_cache(cache_dir, spec, store, store_options),
         force=False,
         progress=False,
         shard=shard,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Generic, Iterator, List, Tuple, TypeVar
 
 from repro.geo.area import Area
 from repro.geo.geometry import Point, distance
@@ -24,6 +24,49 @@ from repro.geo.geometry import Point, distance
 
 #: Integer (column, row) coordinate of a virtual circle in the grid.
 GridCoord = Tuple[int, int]
+
+T = TypeVar("T")
+
+
+class SpatialHash(Generic[T]):
+    """Uniform-cell spatial hash for radius-bounded proximity queries.
+
+    Items are binned into square cells of side ``cell``; any two items
+    closer than ``cell`` are guaranteed to share a cell or sit in
+    adjacent ones, so :meth:`candidates` only has to visit the 3x3 cell
+    neighbourhood instead of every item (the classic O(n) -> O(density)
+    neighbour query).  Buckets preserve insertion order and
+    :meth:`candidates` walks the neighbourhood cells in a fixed order,
+    so iteration over candidates is deterministic for a deterministic
+    insertion sequence -- simulation results must not depend on hash
+    layout.
+    """
+
+    def __init__(self, cell: float) -> None:
+        self.cell = max(cell, 1e-6)
+        self._buckets: Dict[Tuple[int, int], List[T]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def cell_of(self, point: Point) -> Tuple[int, int]:
+        """The cell coordinate binning ``point``."""
+        return (int(point.x // self.cell), int(point.y // self.cell))
+
+    def insert(self, item: T, point: Point) -> None:
+        self._buckets.setdefault(self.cell_of(point), []).append(item)
+
+    def candidates(self, point: Point) -> Iterator[T]:
+        """Every item within one cell of ``point`` (including its own).
+
+        The superset of all items within ``cell`` of ``point``; callers
+        apply their exact distance predicate to the survivors.
+        """
+        cx, cy = self.cell_of(point)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for item in self._buckets.get((cx + dx, cy + dy), ()):
+                    yield item
 
 
 @dataclass(frozen=True, slots=True)

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.geo.area import Area
 from repro.geo.geometry import Point, Vector
+from repro.geo.grid import SpatialHash
 from repro.mobility.base import MobilityModel
 from repro.registry import MACS, RADIOS
 from repro.simulation.engine import PeriodicTimer, Simulator
@@ -165,28 +166,21 @@ class Network:
         if self._neighbor_cache is not None:
             return self._neighbor_cache
         radio = self.config.radio
-        cell = max(radio.nominal_range, 1e-6)
-        buckets: Dict[Tuple[int, int], List[int]] = {}
+        index: SpatialHash[int] = SpatialHash(radio.nominal_range)
         positions: Dict[int, Point] = {}
         for node_id, node in self.nodes.items():
             if not node.alive:
                 continue
             pos = self.mobility.position(node_id)
             positions[node_id] = pos
-            key = (int(pos.x // cell), int(pos.y // cell))
-            buckets.setdefault(key, []).append(node_id)
+            index.insert(node_id, pos)
         table: Dict[int, List[int]] = {}
         for node_id, pos in positions.items():
-            key = (int(pos.x // cell), int(pos.y // cell))
-            found: List[int] = []
-            for dx in (-1, 0, 1):
-                for dy in (-1, 0, 1):
-                    for other in buckets.get((key[0] + dx, key[1] + dy), []):
-                        if other == node_id:
-                            continue
-                        if radio.in_range(pos, positions[other]):
-                            found.append(other)
-            table[node_id] = found
+            table[node_id] = [
+                other
+                for other in index.candidates(pos)
+                if other != node_id and radio.in_range(pos, positions[other])
+            ]
         self._neighbor_cache = table
         return table
 

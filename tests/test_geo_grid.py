@@ -90,3 +90,56 @@ class TestNeighbors:
     def test_manhattan(self, grid_8x8):
         assert grid_8x8.manhattan((0, 0), (3, 4)) == 7
         assert grid_8x8.manhattan((5, 5), (5, 5)) == 0
+
+
+class TestSpatialHash:
+    def test_candidates_cover_everything_within_cell_radius(self):
+        import random
+
+        from repro.geo.geometry import distance
+        from repro.geo.grid import SpatialHash
+
+        rng = random.Random(7)
+        points = {i: Point(rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(200)}
+        index = SpatialHash(12.0)
+        for i, p in points.items():
+            index.insert(i, p)
+        assert len(index) == 200
+        for i, p in points.items():
+            candidates = set(index.candidates(p))
+            assert i in candidates  # own cell is probed
+            for j, q in points.items():
+                if distance(p, q) < 12.0:
+                    assert j in candidates
+
+    def test_candidate_order_is_deterministic(self):
+        from repro.geo.grid import SpatialHash
+
+        def build():
+            index = SpatialHash(10.0)
+            for i, p in enumerate(
+                [Point(1, 1), Point(2, 2), Point(15, 1), Point(3, 3)]
+            ):
+                index.insert(i, p)
+            return list(index.candidates(Point(2, 2)))
+
+        first = build()
+        assert first == build()
+        # bucket contents come back in insertion order
+        assert [i for i in first if i in (0, 1, 3)] == [0, 1, 3]
+
+    def test_zero_cell_size_is_floored(self):
+        from repro.geo.grid import SpatialHash
+
+        index = SpatialHash(0.0)
+        index.insert("a", Point(0.5, 0.5))
+        assert index.cell > 0
+        assert list(index.candidates(Point(0.5, 0.5))) == ["a"]
+
+    def test_negative_coordinates_bin_correctly(self):
+        from repro.geo.grid import SpatialHash
+
+        index = SpatialHash(10.0)
+        index.insert("neg", Point(-5.0, -5.0))
+        index.insert("origin", Point(1.0, 1.0))
+        assert set(index.candidates(Point(-1.0, -1.0))) == {"neg", "origin"}

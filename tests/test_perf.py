@@ -235,3 +235,217 @@ class TestPerfCli:
         )
         assert code == 2
         assert "holds no results" in capsys.readouterr().err
+
+
+class TestTrend:
+    @staticmethod
+    def entry(medians, accepted=False, sweep="tiny", recorded_at="2026-01-01T00:00:00+00:00"):
+        from repro.experiments.perf import TrendEntry
+
+        return TrendEntry(
+            sweep=sweep,
+            recorded_at=recorded_at,
+            commit="abc123",
+            store="json",
+            executor="",
+            n_runs=sum(1 for _ in medians),
+            medians=dict(medians),
+            accepted=accepted,
+        )
+
+    def test_trend_entry_from_results(self):
+        from repro.experiments.perf import trend_entry
+
+        results = result_set(
+            {(("n", 10),): [1.0, 3.0, 2.0], (("n", 20),): [4.0]}
+        )
+        entry = trend_entry("tiny", results, store="sqlite", executor="queue")
+        assert entry.sweep == "tiny"
+        assert entry.medians == {"n=10": 2.0, "n=20": 4.0}
+        assert entry.n_runs == 4
+        assert entry.store == "sqlite"
+        assert entry.accepted is False
+        assert entry.recorded_at.endswith("+00:00")
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        from repro.experiments.perf import append_trend, load_trend
+
+        path = str(tmp_path / "trend.jsonl")
+        assert load_trend(path) == []
+        first = self.entry({"n=10": 1.0})
+        second = self.entry({"n=10": 1.1}, sweep="other")
+        append_trend(path, first)
+        append_trend(path, second)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{corrupt line\n")
+        entries = load_trend(path)
+        assert [e.sweep for e in entries] == ["tiny", "other"]
+        assert [e.sweep for e in load_trend(path, sweep="tiny")] == ["tiny"]
+        assert entries[0].medians == {"n=10": 1.0}
+
+    def test_check_trend_statuses(self):
+        from repro.experiments.perf import check_trend
+
+        flat = [self.entry({"n=10": 1.0}) for _ in range(4)]
+        report = check_trend(flat + [self.entry({"n=10": 1.05})], tolerance=0.25)
+        assert {p.status for p in report.points} == {"ok"}
+        assert not report.regressed
+
+        report = check_trend(flat + [self.entry({"n=10": 2.0})], tolerance=0.25)
+        assert [p.status for p in report.points] == ["regressed"]
+        assert report.regressed
+        assert report.points[0].ratio == pytest.approx(2.0)
+
+        report = check_trend(flat + [self.entry({"n=10": 0.5})], tolerance=0.25)
+        assert [p.status for p in report.points] == ["improved"]
+        assert not report.regressed
+
+    def test_check_trend_first_entry_has_no_history(self):
+        from repro.experiments.perf import check_trend
+
+        report = check_trend([self.entry({"n=10": 1.0})])
+        assert [p.status for p in report.points] == ["no-history"]
+        assert report.entries == 0
+
+    def test_check_trend_new_point_is_informational(self):
+        from repro.experiments.perf import check_trend
+
+        entries = [
+            self.entry({"n=10": 1.0}),
+            self.entry({"n=10": 1.0, "n=20": 9.0}),
+        ]
+        report = check_trend(entries, tolerance=0.25)
+        statuses = {p.point: p.status for p in report.points}
+        assert statuses == {"n=10": "ok", "n=20": "new-point"}
+        assert not report.regressed
+
+    def test_check_trend_accept_resets_reference(self):
+        from repro.experiments.perf import check_trend
+
+        entries = [
+            self.entry({"n=10": 1.0}),
+            self.entry({"n=10": 1.0}),
+            self.entry({"n=10": 2.0}, accepted=True),  # blessed slowdown
+            self.entry({"n=10": 2.1}),
+        ]
+        report = check_trend(entries, tolerance=0.25)
+        assert [p.status for p in report.points] == ["ok"]
+        assert report.entries == 1  # history truncated at the accepted entry
+
+    def test_check_trend_window_limits_history(self):
+        from repro.experiments.perf import check_trend
+
+        old = [self.entry({"n=10": 9.0}) for _ in range(5)]
+        recent = [self.entry({"n=10": 1.0}) for _ in range(6)]
+        report = check_trend(
+            old + recent + [self.entry({"n=10": 1.1})], window=5
+        )
+        assert [p.status for p in report.points] == ["ok"]
+        assert report.entries == 5
+
+    def test_check_trend_empty_raises(self):
+        from repro.experiments.orchestrator import SpecError
+        from repro.experiments.perf import check_trend
+
+        with pytest.raises(SpecError):
+            check_trend([])
+
+    def test_median_noise_tolerated(self):
+        from repro.experiments.perf import check_trend
+
+        history = [
+            self.entry({"n=10": m}) for m in (1.0, 1.0, 5.0, 1.0, 1.0)
+        ]  # one noisy CI machine in the window
+        report = check_trend(history + [self.entry({"n=10": 1.1})])
+        assert [p.status for p in report.points] == ["ok"]
+
+
+class TestTrendCli:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        base = result_set({(("n_nodes", 10),): [1.0, 1.0, 1.0, 1.0, 1.0]})
+        slow = result_set({(("n_nodes", 10),): [4.0, 4.0, 4.0, 4.0, 4.0]})
+        paths = {}
+        for name, results in (("base", base), ("slow", slow)):
+            paths[name] = str(tmp_path / f"{name}.json")
+            export_json(results, paths[name])
+        return paths
+
+    def test_requires_baseline_or_trend(self, artifacts, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["perf", "smoke", "--current", artifacts["base"]])
+        assert code == 2
+        assert "nothing to compare" in capsys.readouterr().err
+
+    def test_trend_append_then_regression(self, artifacts, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+        from repro.experiments.perf import load_trend
+
+        trend = str(tmp_path / "trend.jsonl")
+        for _ in range(3):
+            assert main(
+                ["perf", "smoke", "--current", artifacts["base"], "--trend", trend]
+            ) == 0
+        capsys.readouterr()
+        code = main(
+            ["perf", "smoke", "--current", artifacts["slow"], "--trend", trend]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        assert len(load_trend(trend)) == 4  # the regressing entry is recorded
+
+    def test_accept_blesses_slowdown_and_refreshes_baseline(
+        self, artifacts, tmp_path, capsys
+    ):
+        from repro.experiments.__main__ import main
+        from repro.experiments.perf import load_results, load_trend
+
+        trend = str(tmp_path / "trend.jsonl")
+        for _ in range(2):
+            main(["perf", "smoke", "--current", artifacts["base"], "--trend", trend])
+        code = main(
+            ["perf", "smoke", "--current", artifacts["slow"], "--trend", trend,
+             "--baseline", artifacts["base"], "--accept"]
+        )
+        assert code == 0
+        assert load_trend(trend)[-1].accepted is True
+        # the baseline artifact now holds the accepted (slow) results
+        refreshed = load_results(artifacts["base"])
+        assert [r.wall_time for r in refreshed] == [4.0] * 5
+        # the next run compares against the accepted entry: no regression
+        capsys.readouterr()
+        assert main(
+            ["perf", "smoke", "--current", artifacts["slow"], "--trend", trend]
+        ) == 0
+
+    def test_accept_refuses_store_baseline(self, artifacts, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        store_dir = tmp_path / "cache"
+        store_dir.mkdir()
+        code = main(
+            ["perf", "smoke", "--current", artifacts["base"],
+             "--trend", str(tmp_path / "trend.jsonl"),
+             "--baseline", str(store_dir), "--accept"]
+        )
+        assert code == 2
+        assert "result store" in capsys.readouterr().err
+
+    def test_trend_report_file_carries_both_sections(
+        self, artifacts, tmp_path
+    ):
+        from repro.experiments.__main__ import main
+
+        trend = str(tmp_path / "trend.jsonl")
+        report = str(tmp_path / "report.json")
+        code = main(
+            ["perf", "smoke", "--current", artifacts["base"],
+             "--baseline", artifacts["base"], "--trend", trend,
+             "--report", report]
+        )
+        assert code == 0
+        with open(report, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert set(doc) == {"comparison", "trend"}
+        assert doc["trend"]["points"][0]["status"] == "no-history"
