@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke adaptive-smoke queue-smoke store-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
+.PHONY: test bench-smoke adaptive-smoke queue-smoke net-smoke store-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
 
 ## tier-1 test suite (fast, deterministic) -- must stay green
 test:
@@ -37,6 +37,13 @@ queue-smoke:
 	cmp $(QUEUE_SMOKE_DIR)/ref/smoke.csv $(QUEUE_SMOKE_DIR)/out/smoke.csv
 	test -z "$$(ls $(QUEUE_SMOKE_DIR)/queue/tasks)"
 	@echo "make queue-smoke: OK (two queue workers, byte-identical artifacts, queue drained)"
+
+## seconds-long churn drill for the tcp executor: the smoke grid
+## drained over TCP by two externally attached --connect workers, one
+## of them SIGKILLed mid-sweep; the artifacts must byte-match a
+## process-executor run and a warm re-run must execute nothing
+net-smoke:
+	$(PYTHON) scripts/net_smoke.py
 
 ## seconds-long end-to-end check of the result-store backends: the
 ## smoke grid run against a sqlite store must export CSV/JSON artifacts
@@ -90,7 +97,7 @@ protocol-coverage:
 	$(PYTHON) -m repro.experiments protocols --check-coverage
 
 ## everything a PR must keep green
-check: test bench-smoke adaptive-smoke queue-smoke store-smoke docs-check protocol-coverage
+check: test bench-smoke adaptive-smoke queue-smoke net-smoke store-smoke docs-check protocol-coverage
 
 ## reproduce the CI pipeline (.github/workflows/ci.yml) locally:
 ## tier-1 tests, docs consistency (links included), the smoke sweep
@@ -100,8 +107,10 @@ check: test bench-smoke adaptive-smoke queue-smoke store-smoke docs-check protoc
 ## synthetic 2x regression, the adaptive smoke sweep (run + a
 ## warm-cache re-run that must execute zero runs), the queue-executor
 ## smoke (two work-stealing workers, byte-identical artifacts), the
-## result-store smoke (sqlite vs json byte-equality + migrate), and a
-## perf-trend append judged against the trailing window
+## tcp-executor churn drill (a --connect worker SIGKILLed mid-sweep,
+## byte-identical artifacts anyway), the result-store smoke (sqlite vs
+## json byte-equality + migrate), and a perf-trend append judged
+## against the trailing window
 CI_DIR := .ci
 ci: test docs-check protocol-coverage
 	rm -rf $(CI_DIR)
@@ -131,8 +140,9 @@ ci: test docs-check protocol-coverage
 	  | grep -q "; 0 executed +" \
 	  || { echo "adaptive gate: warm-cache re-run executed runs (expected 0)"; exit 1; }
 	$(MAKE) queue-smoke
+	$(MAKE) net-smoke
 	$(MAKE) store-smoke
 	$(PYTHON) -m repro.experiments perf smoke \
 	  --current $(CI_DIR)/artifacts/smoke.json \
 	  --trend $(CI_DIR)/trend.jsonl --tolerance 10
-	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive, queue, store, trend)"
+	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive, queue, net, store, trend)"

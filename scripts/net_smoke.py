@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""CI churn drill for the networked (tcp) executor (`make net-smoke`).
+
+Drives the smoke grid through a tcp coordinator with two *externally
+attached* `python -m repro.experiments worker --connect` processes --
+the multi-machine topology on one box -- and SIGKILLs one of them
+mid-sweep. To make the kill land mid-run deterministically, the grid
+runs with a longer simulated duration (about a second of wall time per
+run) and the workers attach in sequence: the victim drains alone until
+the driver has recorded at least one run, dies by SIGKILL while leasing
+the next, and only then does the survivor attach to finish the sweep.
+
+The gate asserts the churn-tolerance contract end to end:
+
+* the driver still drains the whole grid and exits 0 (the killed
+  worker's leases are reclaimed and its runs re-executed), reporting
+  the churn in its run summary;
+* the CSV artifact is byte-identical to a process-executor run of the
+  same grid (the backend, churn included, never changes a result);
+* the surviving worker detaches cleanly when the sweep closes;
+* a warm-cache re-run under tcp executes zero runs (and never binds).
+
+Everything runs under .ci/net-smoke; exits non-zero with a diagnosis on
+the first violated invariant.
+"""
+
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+SMOKE_DIR = os.path.join(".ci", "net-smoke")
+PYTHON = sys.executable
+RUNS_IN_SMOKE = 12  # the smoke grid: 2 group sizes x 2 node counts x 3 seeds
+DURATION = "1200"   # sim-seconds; ~1s wall per run, so the kill lands mid-sweep
+
+
+def log(message):
+    print(f"[net-smoke] {message}", flush=True)
+
+
+def fail(message):
+    print(f"[net-smoke] FAIL: {message}", file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+def cli(*args):
+    return [PYTHON, "-m", "repro.experiments", *args]
+
+
+def free_port():
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def main():
+    shutil.rmtree(SMOKE_DIR, ignore_errors=True)
+    os.makedirs(SMOKE_DIR, exist_ok=True)
+
+    log("reference run (process executor)")
+    subprocess.run(
+        cli(
+            "run", "smoke", "--duration", DURATION, "--executor", "process",
+            "--cache-dir", os.path.join(SMOKE_DIR, "ref-cache"),
+            "--out", os.path.join(SMOKE_DIR, "ref"),
+        ),
+        check=True,
+    )
+
+    port = free_port()
+    address = f"127.0.0.1:{port}"
+    log(f"tcp driver on {address}, --workers 0 (external workers only)")
+    driver = subprocess.Popen(
+        cli(
+            "run", "smoke", "--duration", DURATION, "--executor", "tcp",
+            "--workers", "0", "--host", "127.0.0.1", "--port", str(port),
+            "--cache-dir", os.path.join(SMOKE_DIR, "tcp-cache"),
+            "--out", os.path.join(SMOKE_DIR, "out"),
+        ),
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+    # follow the driver's progress stream so the kill can be timed
+    driver_lines = []
+    recorded = threading.Event()
+    progress_re = re.compile(rf"\(\d+/{RUNS_IN_SMOKE}\)")
+
+    def follow():
+        for line in driver.stderr:
+            driver_lines.append(line)
+            sys.stderr.write(line)
+            if progress_re.search(line):
+                recorded.set()
+
+    follower = threading.Thread(target=follow, daemon=True)
+    follower.start()
+
+    def spawn_worker():
+        return subprocess.Popen(
+            cli("worker", "--connect", address, "--poll-interval", "0.2")
+        )
+
+    victim = spawn_worker()
+    if not recorded.wait(timeout=120):
+        victim.kill()
+        driver.kill()
+        fail("driver recorded no runs within 120s of the first worker attaching")
+    # the victim just streamed a result; give it a fraction of one run's
+    # wall time to lease and start its next, then SIGKILL = no close
+    # frame, no heartbeat, a dead socket, a lease to reclaim
+    time.sleep(0.4)
+    victim.send_signal(signal.SIGKILL)
+    victim.wait()
+    done_at_kill = sum(1 for line in driver_lines if progress_re.search(line))
+    log(f"SIGKILLed worker 1 mid-sweep ({done_at_kill}/{RUNS_IN_SMOKE} recorded)")
+    if done_at_kill >= RUNS_IN_SMOKE:
+        fail("the grid drained before the kill landed; raise DURATION")
+
+    survivor = spawn_worker()
+    if driver.wait(timeout=600) is None:  # pragma: no cover - belt and braces
+        driver.kill()
+        fail("tcp driver did not finish within 600s (grid never drained)")
+    follower.join(timeout=30)
+    if driver.returncode != 0:
+        fail(f"tcp driver exited {driver.returncode} (expected a drained grid)")
+
+    try:
+        survivor.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        survivor.kill()
+        fail("surviving worker did not detach after the sweep closed")
+    if survivor.returncode != 0:
+        fail(f"surviving worker exited {survivor.returncode}")
+
+    churn = [line.strip() for line in driver_lines if "churn:" in line]
+    if not churn:
+        fail("driver reported no churn summary despite a SIGKILLed worker")
+    log(f"driver reported: {churn[0]}")
+    if "1 lost" not in churn[0]:
+        fail(f"expected the killed worker in the churn summary: {churn[0]}")
+    if "0 lease(s) reclaimed" in churn[0]:
+        fail(
+            "the victim died without a lease to reclaim (kill landed "
+            f"between runs): {churn[0]}"
+        )
+
+    ref_csv = os.path.join(SMOKE_DIR, "ref", "smoke.csv")
+    tcp_csv = os.path.join(SMOKE_DIR, "out", "smoke.csv")
+    with open(ref_csv, "rb") as fh:
+        ref_bytes = fh.read()
+    with open(tcp_csv, "rb") as fh:
+        tcp_bytes = fh.read()
+    if ref_bytes != tcp_bytes:
+        fail("tcp artifact differs from the process-executor artifact")
+    log("artifacts byte-identical across executors (kill included)")
+
+    log("warm-cache re-run under tcp (must execute nothing)")
+    warm = subprocess.run(
+        cli(
+            "run", "smoke", "--duration", DURATION, "--executor", "tcp",
+            "--workers", "0", "--port", "0",
+            "--cache-dir", os.path.join(SMOKE_DIR, "tcp-cache"),
+            "--format", "none",
+        ),
+        capture_output=True,
+        text=True,
+    )
+    sys.stderr.write(warm.stderr)
+    if warm.returncode != 0:
+        fail(f"warm tcp re-run exited {warm.returncode}")
+    blob = warm.stdout + warm.stderr
+    if f"done: {RUNS_IN_SMOKE} cached + 0 executed" not in blob:
+        fail("warm tcp re-run executed runs (expected all cached)")
+
+    log(
+        "OK (driver drained the grid through a SIGKILL, byte-identical "
+        "artifacts, churn reported, clean worker detach, zero-exec warm replay)"
+    )
+
+
+if __name__ == "__main__":
+    main()

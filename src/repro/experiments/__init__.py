@@ -24,6 +24,13 @@
   filesystem drain cooperatively (``python -m repro.experiments
   worker``); the backend choice never enters cache keys, so results are
   byte-identical across executors.
+* :mod:`repro.experiments.net` -- the networked ``tcp`` executor: a
+  driver-side :class:`Coordinator` leases runs over length-prefixed,
+  versioned protocol frames to workers on any reachable machine
+  (``python -m repro.experiments worker --connect HOST:PORT``), with
+  heartbeats, stale-lease reclaim and streamed results -- the queue's
+  work-stealing semantics without the shared filesystem.  The shared
+  lease state machine lives in :mod:`repro.experiments.leases`.
 * :mod:`repro.experiments.specs` -- the registry of named sweeps (the
   benchmark grids E2/E3/E5/E6/E7/E8/A1/A2, the example scenarios, a
   smoke sweep) plus their registered hooks and collectors.
@@ -45,7 +52,8 @@
   ``migrate`` / ``perf`` /
   ``protocols`` (registered components + spec-coverage check) /
   ``executors`` (registered backends) / ``stores`` (registered result
-  stores) / ``worker`` (attach to a queue directory), with ``--shard
+  stores) / ``worker`` (attach to a queue directory, or to a tcp
+  coordinator with ``--connect``), with ``--shard
   I/N`` splitting a grid across share-nothing CI jobs, ``--executor
   NAME`` picking the execution backend and ``--store NAME`` the
   persistence backend.
@@ -90,6 +98,19 @@ from repro.experiments.executors import (
     make_executor,
     register_executor,
     run_worker,
+)
+from repro.experiments.leases import (
+    DEFAULT_STALE_AFTER,
+    ExecutorStats,
+    LeaseTable,
+)
+from repro.experiments.net import (
+    PROTOCOL_VERSION,
+    Coordinator,
+    NetWorkerError,
+    ProtocolError,
+    TcpExecutor,
+    run_net_worker,
 )
 from repro.experiments.orchestrator import (
     SweepSpec,
@@ -208,6 +229,15 @@ __all__ = [
     "make_executor",
     "register_executor",
     "run_worker",
+    "DEFAULT_STALE_AFTER",
+    "ExecutorStats",
+    "LeaseTable",
+    "PROTOCOL_VERSION",
+    "Coordinator",
+    "NetWorkerError",
+    "ProtocolError",
+    "TcpExecutor",
+    "run_net_worker",
     "parse_shard",
     "shard_runs",
     "shard_points",

@@ -9,6 +9,7 @@
     python -m repro.experiments run SWEEP [--executor NAME] [--store NAME] ...
     python -m repro.experiments resume SWEEP [...]
     python -m repro.experiments worker --queue-dir DIR [--stale-after S]
+    python -m repro.experiments worker --connect HOST:PORT
     python -m repro.experiments export SWEEP --out DIR [...]
     python -m repro.experiments merge SWEEP --cache-dir DEST --from DIR ...
     python -m repro.experiments migrate --from SPEC --to SPEC
@@ -17,14 +18,18 @@
 
 ``run`` executes a registered sweep (see ``list``) through a registered
 *executor backend* (see ``executors``: in-process ``serial``, the
-default ``process`` pool, a ``thread`` pool, or a shared-directory
-``queue`` drained by worker processes on any machine), caching finished
-runs under ``--cache-dir`` so an interrupted or repeated invocation only
-executes what is missing; ``resume`` is ``run`` with the additional
-guarantee that it refuses to start from a cold cache (catching a
-mistyped ``--cache-dir``).  ``worker`` attaches to a live ``queue``
-executor's directory and executes runs it claims via atomic file leases
-until the driver closes the queue (see ``docs/executors.md``).
+default ``process`` pool, a ``thread`` pool, a shared-directory
+``queue`` drained by worker processes on any machine that mounts it, or
+a networked ``tcp`` coordinator drained by workers on any machine that
+can reach ``--host``/``--port``), caching finished runs under
+``--cache-dir`` so an interrupted or repeated invocation only executes
+what is missing; ``resume`` is ``run`` with the additional guarantee
+that it refuses to start from a cold cache (catching a mistyped
+``--cache-dir``).  ``worker`` attaches to a live sweep and executes runs
+it leases -- via atomic file leases on a ``queue`` directory
+(``--queue-dir``), or over a socket to a ``tcp`` coordinator
+(``--connect HOST:PORT``) -- until the driver closes the sweep (see
+``docs/executors.md`` and ``docs/networked-executor.md``).
 ``export`` rebuilds the CSV/JSON artifacts purely from cached results
 without running anything.
 
@@ -81,6 +86,13 @@ from repro.experiments.executors import (
     DEFAULT_STALE_AFTER,
     available_executors,
     run_worker,
+)
+from repro.experiments.net import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    NetWorkerError,
+    parse_address,
+    run_net_worker,
 )
 from repro.experiments.orchestrator import (
     AdaptiveCI,
@@ -246,6 +258,19 @@ def _build_parser() -> argparse.ArgumentParser:
             f"to (default: {DEFAULT_QUEUE_DIR})",
         )
         p.add_argument(
+            "--host",
+            default=DEFAULT_HOST,
+            help="tcp executor only: coordinator bind address "
+            f"(default: {DEFAULT_HOST}; use 0.0.0.0 for remote workers)",
+        )
+        p.add_argument(
+            "--port",
+            type=int,
+            default=DEFAULT_PORT,
+            help="tcp executor only: coordinator port workers --connect to "
+            f"(default: {DEFAULT_PORT}; 0 = ephemeral)",
+        )
+        p.add_argument(
             "--no-cache",
             action="store_true",
             help="run without reading or writing the cache",
@@ -314,13 +339,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "worker",
-        help="attach to a queue executor's shared directory and execute "
-        "runs claimed via atomic file leases (multi-machine sweeps)",
+        help="attach to a live sweep and execute leased runs: a queue "
+        "executor's shared directory (--queue-dir) or a tcp coordinator "
+        "(--connect HOST:PORT) for multi-machine sweeps",
     )
     p.add_argument(
         "--queue-dir",
         default=DEFAULT_QUEUE_DIR,
         help=f"shared queue directory (default: {DEFAULT_QUEUE_DIR})",
+    )
+    p.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="attach to a tcp-executor coordinator over the network "
+        "instead of a queue directory (--queue-dir/--stale-after are "
+        "then ignored; staleness is judged by the coordinator)",
     )
     p.add_argument(
         "--worker-id",
@@ -350,7 +384,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--forever",
         action="store_true",
         help="keep serving sweep after sweep instead of exiting once the "
-        "driver closes the queue",
+        "driver closes the queue (with --connect: keep reconnecting "
+        "after the coordinator says goodbye)",
     )
     p.add_argument(
         "--quiet",
@@ -689,6 +724,27 @@ def _cmd_stores() -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    if args.connect is not None:
+        try:
+            address = parse_address(args.connect)
+        except ValueError as exc:
+            raise CliError(str(exc)) from None
+        if not args.quiet:
+            print(
+                f"worker: connecting to coordinator at {args.connect}",
+                file=sys.stderr,
+            )
+        executed = run_net_worker(
+            address,
+            worker_id=args.worker_id,
+            poll_interval=args.poll_interval,
+            max_tasks=args.max_tasks,
+            forever=args.forever,
+            progress=not args.quiet,
+        )
+        if not args.quiet:
+            print(f"worker: executed {executed} run(s) from {args.connect}")
+        return 0
     if not args.quiet:
         print(
             f"worker: attaching to queue {args.queue_dir!r} "
@@ -722,7 +778,7 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
         )
         return 2
     shard = parse_shard(args.shard) if args.shard else None
-    # the queue backend is the only one with options; run_sweep resolves
+    # only the work-stealing backends take options; run_sweep resolves
     # the name eagerly (RegistryError with alternatives) before any state
     # is touched
     executor = args.executor or spec.executor or DEFAULT_EXECUTOR
@@ -736,6 +792,11 @@ def _cmd_run(args: argparse.Namespace, require_cache: bool) -> int:
         )
         if queue_store is not None:
             executor_options["store"] = queue_store
+    elif executor == "tcp":
+        # the tcp coordinator streams results back to this process; the
+        # result store stays driver-local and never crosses the wire
+        executor_options["host"] = args.host
+        executor_options["port"] = args.port
     policy = _adaptive_policy(spec, args)
     adaptive: Optional[AdaptiveResult] = None
     if policy is not None:
@@ -1073,7 +1134,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_migrate(args)
         if args.command == "perf":
             return _cmd_perf(args)
-    except (CliError, SpecError, StoreError, RegistryError) as exc:
+    except (CliError, SpecError, StoreError, RegistryError, NetWorkerError) as exc:
         print(f"{args.command}: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

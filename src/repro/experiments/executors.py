@@ -30,6 +30,13 @@ Four backends ship:
   directory, or e.g. ``sqlite`` whose WAL mode lets every worker
   publish into one database file concurrently).
 
+A fifth backend, ``tcp``, lives in :mod:`repro.experiments.net`: the
+same lease protocol over sockets instead of a shared mount (workers
+attach with ``python -m repro.experiments worker --connect HOST:PORT``).
+The lease/heartbeat/stale-reclaim rules both work-stealing backends
+share -- including :data:`DEFAULT_STALE_AFTER`, re-exported here --
+live in :mod:`repro.experiments.leases`.
+
 Which backend runs is a *sweep-cosmetic* choice: it is excluded from
 cache keys and artifacts, so a warm cache populated under one executor
 replays with zero executions under every other, and the merged artifact
@@ -43,6 +50,8 @@ Queue directory layout (see ``docs/executors.md`` for the protocol)::
       results/<key>.json   the result store, keyed by the run's cache_key
                            (a sqlite-backed queue uses ``results.db``)
       errors/<key>.json    terminal per-run failure, reported to the driver
+      workers/<id>         liveness marker, touched by each worker per scan
+      reclaims/<id>.json   one record per broken stale lease (churn counters)
       store                the driver's chosen result-store backend name
                            (absent = the default ``json`` layout)
       closed               sentinel: the driver is done; idle workers exit
@@ -62,6 +71,7 @@ import copy
 import json
 import os
 import pickle
+import re
 import socket
 import subprocess
 import sys
@@ -70,15 +80,21 @@ import time
 import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.leases import DEFAULT_STALE_AFTER, ExecutorStats, is_stale
 from repro.registry import Registry
 
 #: executor-backend factories; ``SweepSpec.executor`` / ``--executor``
-#: resolve here.  Bootstraps this module (the built-ins) plus the specs
-#: module (the one module spawn-platform workers re-import), mirroring
-#: the component registries.
+#: resolve here.  Bootstraps this module (the built-ins), the networked
+#: backend (the ``tcp`` coordinator) and the specs module (the one
+#: module spawn-platform workers re-import), mirroring the component
+#: registries.
 EXECUTORS = Registry(
     "executor",
-    bootstrap=("repro.experiments.executors", "repro.experiments.specs"),
+    bootstrap=(
+        "repro.experiments.executors",
+        "repro.experiments.net.coordinator",
+        "repro.experiments.specs",
+    ),
 )
 
 #: the backend used when neither the spec nor the caller names one --
@@ -89,17 +105,13 @@ DEFAULT_EXECUTOR = "process"
 #: ``worker`` CLI subcommand
 DEFAULT_QUEUE_DIR = ".repro-queue"
 
-#: seconds without a heartbeat before a lease counts as abandoned and
-#: may be reclaimed by another worker
-DEFAULT_STALE_AFTER = 60.0
-
 
 def register_executor(name: str) -> Callable:
     """Register an :class:`Executor` factory (usually the class) under ``name``."""
     return EXECUTORS.register(name)
 
 
-def make_executor(name: Optional[str], **options: Any) -> "Executor":
+def make_executor(name, **options: Any) -> "Executor":
     """Instantiate the executor registered under ``name`` (default: process).
 
     Unknown names raise :class:`~repro.registry.RegistryError` listing the
@@ -107,8 +119,24 @@ def make_executor(name: Optional[str], **options: Any) -> "Executor":
     any run executes, so a typo'd ``--executor`` fails like a typo'd
     protocol name.  ``options`` are backend keyword arguments (the
     ``queue`` backend takes ``queue_dir``/``poll_interval``/
-    ``stale_after``/``store``; the in-process backends take none).
+    ``stale_after``/``store``; the ``tcp`` backend takes ``host``/
+    ``port``/``poll_interval``/``stale_after``; the in-process backends
+    take none).
+
+    An already-constructed :class:`Executor` instance passes through
+    unchanged (``options`` must then be empty) -- callers that need to
+    configure a backend beyond its keyword options, e.g. binding a tcp
+    coordinator to an ephemeral port and learning the port before the
+    sweep starts, build the instance themselves and hand it to
+    ``run_sweep(..., executor=instance)``.
     """
+    if isinstance(name, Executor):
+        if options:
+            raise ValueError(
+                "make_executor: options cannot be combined with an "
+                "already-constructed Executor instance"
+            )
+        return name
     return EXECUTORS.get(name or DEFAULT_EXECUTOR)(**options)
 
 
@@ -171,6 +199,16 @@ class Executor:
     def describe(self, workers: int) -> str:
         """Human-readable parallelism for the scheduling progress line."""
         return f"{max(1, workers)} worker(s) [{self.name}]"
+
+    def stats(self) -> Optional[ExecutorStats]:
+        """Churn counters for the run summary, or None.
+
+        In-process backends have no worker churn and return None; the
+        work-stealing backends (queue, tcp) report leases reclaimed,
+        workers seen/lost and runs re-executed, cumulative across every
+        :meth:`map_runs` batch this instance served.
+        """
+        return None
 
     def close(self) -> None:
         """Release backend state (processes, sentinels); idempotent."""
@@ -295,6 +333,8 @@ class WorkQueue:
         self.claims_dir = os.path.join(root, "claims")
         self.results_dir = os.path.join(root, "results")
         self.errors_dir = os.path.join(root, "errors")
+        self.workers_dir = os.path.join(root, "workers")
+        self.reclaims_dir = os.path.join(root, "reclaims")
         self.closed_path = os.path.join(root, "closed")
         self.store_path = os.path.join(root, "store")
         # one shared probe per queue dir (not per process): any
@@ -324,7 +364,14 @@ class WorkQueue:
 
     def ensure(self) -> None:
         """Create the layout; any participant may call this first."""
-        for path in (self.tasks_dir, self.claims_dir, self.results_dir, self.errors_dir):
+        for path in (
+            self.tasks_dir,
+            self.claims_dir,
+            self.results_dir,
+            self.errors_dir,
+            self.workers_dir,
+            self.reclaims_dir,
+        ):
             os.makedirs(path, exist_ok=True)
 
     def reopen(self) -> None:
@@ -445,14 +492,20 @@ class WorkQueue:
                 age = self._fs_now() - os.path.getmtime(path)
             except OSError:
                 return False  # released concurrently; rescan
-            if age <= stale_after:
+            if not is_stale(age, stale_after):
                 return False
             tomb = f"{path}.stale-{uuid.uuid4().hex[:8]}"
             try:
                 os.replace(path, tomb)
             except OSError:
                 return False  # another worker broke it first
+            try:
+                with open(tomb, "r", encoding="utf-8") as fh:
+                    old_owner = fh.read()
+            except OSError:  # pragma: no cover - racing cleanup
+                old_owner = ""
             os.unlink(tomb)
+            self.record_reclaim(task_id, old_owner, worker_id)
             try:
                 fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
@@ -521,6 +574,73 @@ class WorkQueue:
             pass
         return payload
 
+    # -- churn bookkeeping -------------------------------------------------
+
+    def register_worker(self, worker_id: str) -> None:
+        """Touch this worker's liveness marker (called once per scan).
+
+        The markers feed the ``workers seen`` churn counter; re-touching
+        every scan keeps the mtime current, so a driver can count the
+        workers that participated *in this sweep* by mtime window rather
+        than trusting leftovers from earlier sweeps.
+        """
+        safe = re.sub(r"[^\w.-]", "_", worker_id) or "worker"
+        try:
+            with open(os.path.join(self.workers_dir, safe), "w", encoding="utf-8") as fh:
+                fh.write(worker_id)
+        except OSError:  # pragma: no cover - unwritable queue dir
+            pass
+
+    def record_reclaim(self, task_id: str, old_owner: str, new_owner: str) -> None:
+        """Persist one broken-stale-lease event (feeds the churn counters)."""
+        payload = {"task": task_id, "old": old_owner, "new": new_owner}
+        _atomic_write(
+            os.path.join(self.reclaims_dir, f"{uuid.uuid4().hex[:12]}.json"),
+            json.dumps(payload).encode("utf-8"),
+        )
+
+    def churn_stats(self, since: float = 0.0) -> ExecutorStats:
+        """Aggregate the robustness counters from events at/after ``since``.
+
+        ``since`` is an mtime on the shared filesystem's clock (compare
+        :meth:`_fs_now`); the driver passes its sweep-start stamp so
+        events left behind by earlier sweeps in a reused queue directory
+        are not re-counted.  A reclaimed task is counted as re-executed
+        -- the reclaim exists precisely so another worker re-runs it.
+        """
+        stats = ExecutorStats()
+        reclaimed_tasks, lost_workers = set(), set()
+        try:
+            names = os.listdir(self.reclaims_dir)
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            path = os.path.join(self.reclaims_dir, name)
+            try:
+                if os.path.getmtime(path) < since:
+                    continue
+                with open(path, "r", encoding="utf-8") as fh:
+                    event = json.load(fh)
+            except (OSError, ValueError):  # pragma: no cover - racing cleanup
+                continue
+            stats.leases_reclaimed += 1
+            reclaimed_tasks.add(event.get("task"))
+            if event.get("old"):
+                lost_workers.add(event["old"])
+        stats.runs_reexecuted = len(reclaimed_tasks)
+        stats.workers_lost = len(lost_workers)
+        try:
+            names = os.listdir(self.workers_dir)
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            try:
+                if os.path.getmtime(os.path.join(self.workers_dir, name)) >= since:
+                    stats.workers_seen += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+        return stats
+
 
 def run_worker(
     queue_dir: str,
@@ -568,6 +688,7 @@ def run_worker(
     while True:
         if max_tasks is not None and executed >= max_tasks:
             return executed
+        queue.register_worker(wid)  # liveness marker for the churn counters
         # follow a driver that switched the queue's store between sweeps
         current_store = queue.result_store_name()
         if current_store != store_name:
@@ -682,6 +803,9 @@ class QueueExecutor(Executor):
         self.store = store
         self.queue = WorkQueue(queue_dir)
         self._procs: List[subprocess.Popen] = []
+        #: fs-clock stamp of this sweep's start; churn events older than
+        #: this belong to earlier sweeps of a reused queue directory
+        self._epoch: Optional[float] = None
 
     def describe(self, workers: int) -> str:
         if workers <= 0:
@@ -717,9 +841,18 @@ class QueueExecutor(Executor):
         for _ in range(workers):
             self._procs.append(subprocess.Popen(command, env=env))
 
+    def stats(self) -> Optional[ExecutorStats]:
+        if self._epoch is None:
+            return ExecutorStats()
+        return self.queue.churn_stats(since=self._epoch)
+
     def map_runs(self, pending, execute, record, fail, *, workers, label, progress,
                  fresh=False):
         self.queue.reopen()
+        if self._epoch is None:
+            # 1s of slack absorbs coarse (whole-second) mtime granularity
+            # on filesystems that have it
+            self._epoch = self.queue._fs_now() - 1.0
         # the store choice must land before the first task file: a worker
         # that claims a task derives the result location from this record
         self.queue.set_result_store(self.store)

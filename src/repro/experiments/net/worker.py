@@ -1,0 +1,281 @@
+"""Remote worker for the networked (``tcp``) executor.
+
+:func:`run_net_worker` is the loop behind ``python -m repro.experiments
+worker --connect HOST:PORT``: connect to a coordinator, negotiate the
+protocol version (:mod:`~repro.experiments.net.protocol`), then
+repeatedly ask for work (``drain``), execute each leased
+:class:`~repro.experiments.orchestrator.RunSpec` while a background
+thread heartbeats over the same socket (the send lock in
+:class:`~repro.experiments.net.protocol.FrameConnection` keeps frames
+from interleaving), and stream the ``result`` -- or a terminal ``error``
+-- back.
+
+Elasticity and churn:
+
+* a dropped connection (coordinator restart, network blip) is retried
+  with **jittered exponential backoff**; any run in flight at the drop is
+  abandoned -- the coordinator reclaims its lease and re-leases it, and
+  determinism makes the eventual result byte-identical, so the worker
+  never tries to deliver stale work after reconnecting;
+* workers may attach and detach mid-sweep: Ctrl-C (or any
+  ``BaseException``) sends a best-effort ``close`` frame so the
+  coordinator releases the leases immediately instead of waiting out
+  ``stale_after``;
+* a protocol-version mismatch is *fatal*, not retried --
+  :class:`NetWorkerError` propagates so a mixed-version fleet fails
+  loudly instead of spinning.
+
+With ``forever=True`` the worker outlives coordinators: after a clean
+``close`` (sweep finished) or exhausted retries it keeps knocking, so a
+fleet of long-lived workers serves sweep after sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import sys
+import threading
+import time
+from typing import Any, Callable, Optional, Tuple, Union
+
+from repro.experiments.leases import DEFAULT_STALE_AFTER
+from repro.experiments.net import protocol
+from repro.experiments.net.protocol import FrameConnection, ProtocolError
+
+#: first retry delay; doubles per consecutive failure up to the cap
+BACKOFF_BASE = 0.5
+BACKOFF_CAP = 15.0
+
+#: consecutive connection failures before a non-``forever`` worker gives up
+DEFAULT_MAX_RETRIES = 8
+
+#: socket timeout for handshake/ack reads (execution time is unbounded,
+#: but no single protocol exchange should ever take this long)
+_SOCKET_TIMEOUT = 60.0
+
+
+class NetWorkerError(RuntimeError):
+    """A fatal worker-side condition (e.g. protocol-version mismatch)."""
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` -> ``(host, port)``; ValueError on anything else."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--connect expects HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--connect expects a numeric port, got {text!r}") from None
+    if not 0 < port <= 65535:
+        raise ValueError(f"--connect port out of range: {text!r}")
+    return host, port
+
+
+def _backoff_delay(failures: int, rng: random.Random) -> float:
+    """Exponential backoff with full jitter (uniform over the window)."""
+    window = min(BACKOFF_CAP, BACKOFF_BASE * (2 ** max(failures - 1, 0)))
+    return rng.uniform(0, window)
+
+
+def _log(progress: bool, message: str) -> None:
+    if progress:
+        print(message, file=sys.stderr, flush=True)
+
+
+def run_net_worker(
+    address: Union[str, Tuple[str, int]],
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.5,
+    heartbeat_interval: Optional[float] = None,
+    execute: Optional[Callable] = None,
+    max_tasks: Optional[int] = None,
+    forever: bool = False,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    progress: bool = False,
+) -> int:
+    """Attach to a coordinator and execute leased runs until told to stop.
+
+    Returns the number of runs executed to completion.  Exits when the
+    coordinator sends ``close`` (sweep over), when ``max_tasks`` runs
+    have completed (mainly for tests), or -- without ``forever`` -- after
+    ``max_retries`` consecutive failed connection attempts.  ``execute``
+    defaults to :func:`~repro.experiments.orchestrator.execute_run`;
+    ``heartbeat_interval`` defaults to a quarter of the coordinator's
+    advertised ``stale_after``.
+    """
+    from repro.experiments.orchestrator import execute_run
+
+    execute = execute or execute_run
+    host, port = address if isinstance(address, tuple) else parse_address(address)
+    wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    rng = random.Random(f"{wid}:{host}:{port}")
+    executed = 0
+    failures = 0
+    while True:
+        if max_tasks is not None and executed >= max_tasks:
+            return executed
+        try:
+            sock = socket.create_connection((host, port), timeout=_SOCKET_TIMEOUT)
+        except OSError as exc:
+            failures += 1
+            if not forever and failures > max_retries:
+                _log(
+                    progress,
+                    f"[worker {wid}] giving up on {host}:{port} after "
+                    f"{failures} failed connection attempt(s): {exc!r}",
+                )
+                return executed
+            time.sleep(_backoff_delay(failures, rng))
+            continue
+        conn = FrameConnection(sock)
+        try:
+            budget = None if max_tasks is None else max_tasks - executed
+            closed, count = _session(
+                conn,
+                wid,
+                poll_interval=poll_interval,
+                heartbeat_interval=heartbeat_interval,
+                execute=execute,
+                budget=budget,
+                progress=progress,
+            )
+            executed += count
+            failures = 0
+            if closed and not forever:
+                return executed
+            if closed:
+                # forever: the coordinator said goodbye, but another
+                # sweep may start one later -- keep knocking, gently
+                time.sleep(poll_interval)
+        except NetWorkerError:
+            raise  # fatal (version mismatch): never retried
+        except (ProtocolError, OSError) as exc:
+            # dropped mid-session: the coordinator reclaims our leases;
+            # reconnect with backoff and start clean
+            failures += 1
+            if not forever and failures > max_retries:
+                _log(
+                    progress,
+                    f"[worker {wid}] connection to {host}:{port} lost "
+                    f"({exc!r}); retries exhausted",
+                )
+                return executed
+            _log(progress, f"[worker {wid}] connection lost ({exc!r}); reconnecting")
+            time.sleep(_backoff_delay(failures, rng))
+        except BaseException:
+            # Ctrl-C / SystemExit: detach cleanly so the coordinator
+            # releases our leases now instead of waiting out stale_after
+            try:
+                conn.send(protocol.FRAME_CLOSE, {})
+            except (ProtocolError, OSError):
+                pass
+            raise
+        finally:
+            conn.close()
+
+
+def _session(
+    conn: FrameConnection,
+    wid: str,
+    *,
+    poll_interval: float,
+    heartbeat_interval: Optional[float],
+    execute: Callable,
+    budget: Optional[int],
+    progress: bool,
+) -> Tuple[bool, int]:
+    """One connected session; returns (coordinator said close, executed)."""
+    conn.send(protocol.FRAME_HELLO, protocol.hello_payload(wid))
+    frame = conn.recv()
+    if frame is None:
+        raise ProtocolError("connection closed during handshake")
+    kind, payload = frame
+    if kind == protocol.FRAME_ERROR:
+        raise NetWorkerError(
+            f"coordinator refused worker {wid}: "
+            f"{payload.get('error', 'unknown error')}"
+        )
+    if kind != protocol.FRAME_HELLO:
+        raise ProtocolError(f"expected hello reply, got {kind}")
+    if payload.get("version") != protocol.PROTOCOL_VERSION:
+        raise NetWorkerError(
+            f"protocol version mismatch: worker speaks "
+            f"{protocol.PROTOCOL_VERSION}, coordinator speaks "
+            f"{payload.get('version')!r}"
+        )
+    stale_after = float(payload.get("stale_after", DEFAULT_STALE_AFTER))
+    beat_every = heartbeat_interval or max(stale_after / 4.0, 0.05)
+    executed = 0
+    while True:
+        if budget is not None and executed >= budget:
+            conn.send(protocol.FRAME_CLOSE, {})
+            return True, executed
+        conn.send(protocol.FRAME_DRAIN, {})
+        frame = conn.recv()
+        if frame is None:
+            raise ProtocolError("connection closed while waiting for work")
+        kind, payload = frame
+        if kind == protocol.FRAME_CLOSE:
+            _log(progress, f"[worker {wid}] coordinator closed; detaching")
+            return True, executed
+        if kind == protocol.FRAME_DRAIN:
+            time.sleep(poll_interval)
+            continue
+        if kind != protocol.FRAME_LEASE:
+            raise ProtocolError(f"expected lease/drain/close, got {kind}")
+        task_id = payload.get("task_id")
+        run = protocol.decode_run(payload.get("run", ""))
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(beat_every):
+                try:
+                    conn.send(protocol.FRAME_HEARTBEAT, {"task_id": task_id})
+                except (ProtocolError, OSError):
+                    return  # connection gone; the session loop notices
+        beater = threading.Thread(target=beat, daemon=True)
+        beater.start()
+        try:
+            try:
+                result = execute(run)
+            except Exception as exc:
+                conn.send(
+                    protocol.FRAME_ERROR,
+                    {
+                        "task_id": task_id,
+                        "run_id": getattr(run, "run_id", task_id),
+                        "error": repr(exc),
+                    },
+                )
+                _ack(conn, protocol.FRAME_ERROR)
+                _log(
+                    progress,
+                    f"[worker {wid}] FAILED {getattr(run, 'run_id', task_id)}: {exc!r}",
+                )
+            else:
+                conn.send(
+                    protocol.FRAME_RESULT,
+                    {"task_id": task_id, "result": protocol.encode_result(result)},
+                )
+                _ack(conn, protocol.FRAME_RESULT)
+                executed += 1
+                _log(
+                    progress,
+                    f"[worker {wid}] {result.run_id} ({result.wall_time:.1f}s)",
+                )
+        finally:
+            stop.set()
+            beater.join()
+
+
+def _ack(conn: FrameConnection, expected: str) -> None:
+    """Consume the coordinator's echo ack for a result/error frame."""
+    frame = conn.recv()
+    if frame is None:
+        raise ProtocolError("connection closed while waiting for ack")
+    kind, _payload = frame
+    if kind != expected:
+        raise ProtocolError(f"expected {expected} ack, got {kind}")

@@ -967,6 +967,19 @@ def _log(progress: bool, message: str) -> None:
         print(message, file=sys.stderr, flush=True)
 
 
+def _log_churn(backend: Optional[Executor], label: str, progress: bool) -> None:
+    """Surface a work-stealing backend's robustness counters, if any.
+
+    In-process backends report None and stay silent; queue/tcp sweeps
+    that survived worker churn say so in one summary line (leases
+    reclaimed, runs re-executed, workers seen/lost) instead of hiding
+    the reclaim in queue-directory forensics.
+    """
+    stats = backend.stats() if backend is not None else None
+    if stats:
+        _log(progress, f"[{label}] churn: {stats.describe()}")
+
+
 def _execute_pending(
     pending: Sequence[tuple],
     workers: int,
@@ -1110,6 +1123,7 @@ def run_sweep(
     finally:
         backend.close()
 
+    _log_churn(backend, label, progress)
     if failures:
         completed = len(runs) - len(failures)
         detail = "; ".join(f"{run_id}: {exc!r}" for run_id, exc in failures[:5])
@@ -1418,6 +1432,7 @@ def _adaptive_sweep(
             )
         )
     _warn_corrupt(cache, label, progress)
+    _log_churn(backend, label, progress)
     _log(
         progress,
         f"[{label}] done: {len(report.converged)}/{len(points)} point(s) "

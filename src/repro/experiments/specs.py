@@ -304,6 +304,23 @@ register_spec(
     )
 )
 
+# derived from e2_scalability (same base and grid, by construction) so
+# the fixed and adaptive variants cannot drift apart
+register_spec(
+    dataclasses.replace(
+        get_spec("e2_scalability"),
+        name="e2_scalability_adaptive",
+        description="E2 under adaptive replication: per-seed delivery "
+        "spreads as the constant-density network grows to 200 nodes, so "
+        "each (size, protocol) point gets seeds until the delivery-ratio "
+        "95% CI half-width drops to 0.05 (max 10 seeds/point).",
+        seeds=(7, 8, 9),
+        replication=AdaptiveCI(
+            target_half_width=0.05, metric="pdr", min_seeds=3, max_seeds=10, batch=2
+        ),
+    )
+)
+
 register_spec(
     SweepSpec(
         name="e3_membership_overhead",
@@ -326,6 +343,26 @@ register_spec(
         },
         seeds=(13,),
         duration=80.0,
+    )
+)
+
+# derived from e3_membership_overhead (same base, grid and protocols, by
+# construction).  Registered as e3_membership_adaptive: the overhead
+# figures are ratios over achieved deliveries, so the stopping rule
+# replicates until *delivery* is pinned down -- the per-delivery
+# overhead columns inherit the stability.
+register_spec(
+    dataclasses.replace(
+        get_spec("e3_membership_overhead"),
+        name="e3_membership_adaptive",
+        description="E3 under adaptive replication: membership-overhead "
+        "ratios are normalised by achieved deliveries, so each (size, "
+        "groups, protocol) point gets seeds until the delivery-ratio 95% "
+        "CI half-width drops to 0.05 (max 10 seeds/point).",
+        seeds=(13, 14, 15),
+        replication=AdaptiveCI(
+            target_half_width=0.05, metric="pdr", min_seeds=3, max_seeds=10, batch=2
+        ),
     )
 )
 
@@ -520,6 +557,23 @@ register_spec(
     )
 )
 
+# derived from a1_dimension (same base, grid and collector, by
+# construction) so the fixed and adaptive variants cannot drift apart
+register_spec(
+    dataclasses.replace(
+        get_spec("a1_dimension"),
+        name="a1_dimension_adaptive",
+        description="A1 under adaptive replication: the mesh-vs-cube "
+        "forwarding trade-off moves delivery seed to seed, so each "
+        "hypercube dimension gets seeds until the delivery-ratio 95% CI "
+        "half-width drops to 0.05 (max 10 seeds/point).",
+        seeds=(47, 48, 49),
+        replication=AdaptiveCI(
+            target_half_width=0.05, metric="pdr", min_seeds=3, max_seeds=10, batch=2
+        ),
+    )
+)
+
 #: A2's proactive-maintenance variants: timer rates and route horizons
 A2_VARIANTS = {
     "fast (1.5x rate)": HVDBParameters(
@@ -563,6 +617,23 @@ register_spec(
         },
         seeds=(53,),
         duration=90.0,
+    )
+)
+
+# derived from a2_maintenance (same base and variant grid, by
+# construction) so the fixed and adaptive variants cannot drift apart
+register_spec(
+    dataclasses.replace(
+        get_spec("a2_maintenance"),
+        name="a2_maintenance_adaptive",
+        description="A2 under adaptive replication: each maintenance "
+        "variant (timer rates, route horizon) gets seeds until the "
+        "delivery-ratio 95% CI half-width drops to 0.05 (max 10 "
+        "seeds/point).",
+        seeds=(53, 54, 55),
+        replication=AdaptiveCI(
+            target_half_width=0.05, metric="pdr", min_seeds=3, max_seeds=10, batch=2
+        ),
     )
 )
 

@@ -98,8 +98,10 @@ def run_with_queue(spec, queue_dir, n_workers=2, **sweep_kwargs):
 
 
 class TestExecutorRegistry:
-    def test_all_four_backends_registered(self):
-        assert {"serial", "process", "thread", "queue"} <= set(EXECUTORS.names())
+    def test_all_five_backends_registered(self):
+        assert {"serial", "process", "thread", "queue", "tcp"} <= set(
+            EXECUTORS.names()
+        )
 
     def test_unknown_name_lists_alternatives(self):
         with pytest.raises(RegistryError, match="serial.*thread|serial, thread"):
@@ -126,14 +128,18 @@ class TestExecutorRegistry:
 
 class TestBackendEquivalence:
     def test_all_backends_byte_identical_artifacts(self, tmp_path):
+        from test_net import run_with_tcp
+
         spec = tiny_spec()
         blobs = {}
-        for backend in ("serial", "thread", "process", "queue"):
+        for backend in ("serial", "thread", "process", "queue", "tcp"):
             cache_dir = str(tmp_path / f"cache-{backend}")
             if backend == "queue":
                 results = run_with_queue(
                     spec, str(tmp_path / "queue"), cache_dir=cache_dir
                 )
+            elif backend == "tcp":
+                results = run_with_tcp(spec, cache_dir=cache_dir)
             else:
                 results = run_sweep(
                     spec, workers=2, cache_dir=cache_dir, executor=backend
@@ -146,6 +152,7 @@ class TestBackendEquivalence:
         assert blobs["thread"] == blobs["serial"]
         assert blobs["process"] == blobs["serial"]
         assert blobs["queue"] == blobs["serial"]
+        assert blobs["tcp"] == blobs["serial"]
 
     def test_queue_results_cache_is_reused_and_force_discards_it(self, tmp_path):
         spec = tiny_spec(grid={}, seeds=(1,))
@@ -180,12 +187,12 @@ class TestBackendEquivalence:
         spec = tiny_spec()
         cache_dir = str(tmp_path / "cache")
         reference = run_sweep(spec, workers=1, cache_dir=cache_dir, executor="serial")
-        for backend in ("process", "thread", "queue"):
+        for backend in ("process", "thread", "queue", "tcp"):
             options = (
                 {"queue_dir": str(tmp_path / "queue")} if backend == "queue" else {}
             )
             # no workers attached anywhere: with zero cache misses the
-            # queue backend must not need any
+            # queue backend must not need any (and tcp never binds)
             replay = run_sweep(
                 spec,
                 workers=0,
@@ -509,6 +516,59 @@ class TestWorkerFaultPaths:
         assert queue.task_ids() == []
 
 
+class TestChurnCounters:
+    """The queue's robustness counters (satellites of the tcp subsystem)."""
+
+    def test_reclaim_is_recorded_and_counted(self, tmp_path):
+        # a crashed worker's stale lease is broken by a rescuer: the
+        # reclaim event must feed every churn counter
+        queue_dir = str(tmp_path / "queue")
+        queue = WorkQueue(queue_dir)
+        queue.ensure()
+        (run,) = expand_spec(tiny_spec(grid={}, seeds=(1,)))
+        task_id = run.cache_key()
+        queue.enqueue(task_id, run)
+        assert queue.claim(task_id, "dead", stale_after=30.0)
+        stale = time.time() - 100.0
+        os.utime(queue._claim_path(task_id), (stale, stale))
+
+        executed = run_worker(
+            queue_dir,
+            worker_id="rescuer",
+            poll_interval=0.01,
+            stale_after=5.0,
+            max_tasks=1,
+        )
+        assert executed == 1
+        stats = queue.churn_stats()
+        assert stats.leases_reclaimed == 1
+        assert stats.runs_reexecuted == 1
+        assert stats.workers_lost == 1      # "dead" lost its lease
+        assert stats.workers_seen >= 1      # "rescuer" registered itself
+        assert "1 lease(s) reclaimed" in stats.describe()
+
+    def test_counters_are_windowed_by_sweep_epoch(self, tmp_path):
+        # events left behind by an earlier sweep in a reused queue dir
+        # must not be re-counted by the next sweep's epoch window
+        queue_dir = str(tmp_path / "queue")
+        queue = WorkQueue(queue_dir)
+        queue.ensure()
+        queue.register_worker("w-old")
+        queue.record_reclaim("t-old", "dead", "rescuer")
+        assert queue.churn_stats(since=0.0)
+        later = queue._fs_now() + 3600.0
+        assert not queue.churn_stats(since=later)
+
+    def test_uneventful_queue_sweep_reports_only_workers_seen(self, tmp_path):
+        queue_dir = str(tmp_path / "queue")
+        run_with_queue(tiny_spec(grid={}, seeds=(1,)), queue_dir, n_workers=2)
+        stats = WorkQueue(queue_dir).churn_stats()
+        assert stats.leases_reclaimed == 0
+        assert stats.workers_lost == 0
+        assert stats.runs_reexecuted == 0
+        assert stats.workers_seen == 2
+
+
 def _progress_lines(capsys):
     return [line for line in capsys.readouterr().err.splitlines() if line]
 
@@ -587,7 +647,7 @@ class TestCliSurface:
 
         assert main(["executors"]) == 0
         out = capsys.readouterr().out
-        for name in ("serial", "process", "thread", "queue"):
+        for name in ("serial", "process", "thread", "queue", "tcp"):
             assert name in out
 
     def test_run_rejects_unknown_executor(self, capsys):
