@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench-smoke adaptive-smoke queue-smoke net-smoke store-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
+.PHONY: test bench-smoke adaptive-smoke queue-smoke net-smoke store-smoke phy-smoke bench docs-check docs-links sweeps protocols protocol-coverage check ci
 
 ## tier-1 test suite (fast, deterministic) -- must stay green
 test:
@@ -70,6 +70,23 @@ store-smoke:
 	$(PYTHON) scripts/store_bench.py
 	@echo "make store-smoke: OK (byte-identical artifacts across stores, warm sqlite replay, migrate round-trip)"
 
+## seconds-long end-to-end check of the physical layer: the phy_smoke
+## sweep (one run per registered radio x MAC combination, sinr and
+## csma_ca included), a warm re-run that must execute nothing, and the
+## physics-fingerprint regression suite (golden metric rows, cache-key
+## digests, artifact hashes)
+PHY_SMOKE_DIR := .ci/phy-smoke
+phy-smoke:
+	rm -rf $(PHY_SMOKE_DIR)
+	$(PYTHON) -m repro.experiments run phy_smoke \
+	  --cache-dir $(PHY_SMOKE_DIR)/cache --out $(PHY_SMOKE_DIR)/out
+	$(PYTHON) -m repro.experiments run phy_smoke \
+	  --cache-dir $(PHY_SMOKE_DIR)/cache --format none 2>&1 \
+	  | grep -q "+ 0 executed" \
+	  || { echo "phy gate: warm re-run executed runs (expected 0)"; exit 1; }
+	$(PYTHON) -m pytest -q tests/test_phy_fingerprint.py
+	@echo "make phy-smoke: OK (3x3 radio/MAC grid, warm zero-exec replay, fingerprints match golden)"
+
 ## full benchmark suite regenerating the paper's evaluation (minutes)
 bench:
 	$(PYTHON) -m pytest -q benchmarks/
@@ -97,7 +114,7 @@ protocol-coverage:
 	$(PYTHON) -m repro.experiments protocols --check-coverage
 
 ## everything a PR must keep green
-check: test bench-smoke adaptive-smoke queue-smoke net-smoke store-smoke docs-check protocol-coverage
+check: test bench-smoke adaptive-smoke queue-smoke net-smoke store-smoke phy-smoke docs-check protocol-coverage
 
 ## reproduce the CI pipeline (.github/workflows/ci.yml) locally:
 ## tier-1 tests, docs consistency (links included), the smoke sweep
@@ -109,8 +126,9 @@ check: test bench-smoke adaptive-smoke queue-smoke net-smoke store-smoke docs-ch
 ## smoke (two work-stealing workers, byte-identical artifacts), the
 ## tcp-executor churn drill (a --connect worker SIGKILLed mid-sweep,
 ## byte-identical artifacts anyway), the result-store smoke (sqlite vs
-## json byte-equality + migrate), and a perf-trend append judged
-## against the trailing window
+## json byte-equality + migrate), the physical-layer smoke (3x3
+## radio/MAC grid, warm zero-exec replay, golden fingerprints), and a
+## perf-trend append judged against the trailing window
 CI_DIR := .ci
 ci: test docs-check protocol-coverage
 	rm -rf $(CI_DIR)
@@ -142,7 +160,8 @@ ci: test docs-check protocol-coverage
 	$(MAKE) queue-smoke
 	$(MAKE) net-smoke
 	$(MAKE) store-smoke
+	$(MAKE) phy-smoke
 	$(PYTHON) -m repro.experiments perf smoke \
 	  --current $(CI_DIR)/artifacts/smoke.json \
 	  --trend $(CI_DIR)/trend.jsonl --tolerance 10
-	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive, queue, net, store, trend)"
+	@echo "make ci: OK (tests, docs, 3-way sharded smoke, merge, perf, adaptive, queue, net, store, phy, trend)"

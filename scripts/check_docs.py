@@ -49,6 +49,7 @@ REQUIRED_DOCS = (
     "docs/result-store.md",
     "docs/sharding-and-ci.md",
     "docs/protocol-registry.md",
+    "docs/physical-layer.md",
     "docs/experiments-guide.md",
     "ROADMAP.md",
     "CHANGES.md",

@@ -638,52 +638,77 @@ def _cmd_list() -> int:
     return 0
 
 
-def _protocol_coverage() -> dict:
-    """Map each registered protocol to the sweeps whose grids exercise it."""
-    from repro.experiments.orchestrator import expand_spec
-    from repro.registry import PROTOCOL_STACKS
+def _component_coverage() -> dict:
+    """Map registered protocols/radios/MACs to the sweeps exercising them.
 
-    coverage = {name: [] for name in PROTOCOL_STACKS.names()}
+    One expansion pass over every registered spec; the result maps each
+    component kind (``protocol``/``radio``/``mac``) to ``{name: [sweep
+    names]}`` over every *registered* component of that kind.
+    """
+    from repro.experiments.orchestrator import expand_spec
+    from repro.registry import MACS, PROTOCOL_STACKS, RADIOS
+
+    coverage = {
+        "protocol": {name: [] for name in PROTOCOL_STACKS.names()},
+        "radio": {name: [] for name in RADIOS.names()},
+        "mac": {name: [] for name in MACS.names()},
+    }
     for spec in available_specs():
-        swept = {run.config.protocol for run in expand_spec(spec)}
-        for protocol in swept:
-            if protocol in coverage:
-                coverage[protocol].append(spec.name)
+        runs = expand_spec(spec)
+        for kind in coverage:
+            for name in {getattr(run.config, kind) for run in runs}:
+                if name in coverage[kind]:
+                    coverage[kind][name].append(spec.name)
     return coverage
 
 
-def _cmd_protocols(args: argparse.Namespace) -> int:
-    from repro.registry import MACS, MOBILITY_MODELS, RADIOS
+def _protocol_coverage() -> dict:
+    """Map each registered protocol to the sweeps whose grids exercise it."""
+    return _component_coverage()["protocol"]
 
-    coverage = _protocol_coverage()
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    from repro.registry import MOBILITY_MODELS
+
+    coverage = _component_coverage()
     rows = [
         {
             "protocol": name,
             "sweeps": ", ".join(sorted(specs)) or "(none)",
         }
-        for name, specs in coverage.items()
+        for name, specs in coverage["protocol"].items()
     ]
     print(format_table(rows, title="Registered protocol stacks and the sweeps exercising them"))
     print()
     components = [
-        {"kind": "radio", "registered": ", ".join(RADIOS.names())},
-        {"kind": "mac", "registered": ", ".join(MACS.names())},
-        {"kind": "mobility", "registered": ", ".join(MOBILITY_MODELS.names())},
+        {"kind": kind, "name": name, "sweeps": ", ".join(sorted(specs)) or "(none)"}
+        for kind in ("radio", "mac")
+        for name, specs in coverage[kind].items()
+    ] + [
+        {"kind": "mobility", "name": name, "sweeps": ""}
+        for name in MOBILITY_MODELS.names()
     ]
     print(format_table(components, title="Other registered components"))
     if args.check_coverage:
-        uncovered = sorted(name for name, specs in coverage.items() if not specs)
+        uncovered = sorted(
+            f"{kind} {name!r}"
+            for kind, names in coverage.items()
+            for name, specs in names.items()
+            if not specs
+        )
         if uncovered:
             print(
-                "protocols: FAIL: registered protocol(s) exercised by no "
+                "protocols: FAIL: registered component(s) exercised by no "
                 f"registered sweep: {', '.join(uncovered)} -- add a spec "
-                "(or a protocol axis value) covering them",
+                "(or an axis value) covering them",
                 file=sys.stderr,
             )
             return 1
+        counts = {kind: len(names) for kind, names in coverage.items()}
         print(
-            f"protocols: OK ({len(coverage)} protocols, every one exercised "
-            "by at least one registered sweep)"
+            f"protocols: OK ({counts['protocol']} protocols, "
+            f"{counts['radio']} radios, {counts['mac']} MACs -- every one "
+            "exercised by at least one registered sweep)"
         )
     return 0
 

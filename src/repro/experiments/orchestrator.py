@@ -87,7 +87,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.executors import Executor, make_executor
-from repro.experiments.scenarios import ScenarioConfig, config_axis_names
+from repro.experiments.scenarios import PHY_SECTIONS, ScenarioConfig, config_axis_names
 from repro.experiments.stores import (
     JsonStore,
     ResultStore,
@@ -301,18 +301,22 @@ class RunSpec:
         independently of insertion order), the duration, the named hooks
         and :data:`CACHE_VERSION` (bumped on behaviour-changing code
         edits).  The mobility/radio/mac component names are part of the
-        config itself, so they need no separate slot here.  The sweep name
-        and cosmetic run id are deliberately excluded, so identical runs
-        reached through different sweeps share cache entries.  ``version``
-        overrides :data:`CACHE_VERSION`, which lets perf tracking address
-        an older cache generation in the same directory -- provided the
-        config *shape* has not changed between generations (generation 1
-        predates the nested per-protocol sections, so its entries are
-        unreachable from this code regardless of ``version``).
+        config itself, so they need no separate slot here; the
+        physical-layer config sections enter only while their component
+        is selected (:func:`canonical_config`), so unit-disk/csma cache
+        keys survived the sections' introduction unchanged.  The sweep
+        name and cosmetic run id are deliberately excluded, so identical
+        runs reached through different sweeps share cache entries.
+        ``version`` overrides :data:`CACHE_VERSION`, which lets perf
+        tracking address an older cache generation in the same directory
+        -- provided the config *shape* has not changed between
+        generations (generation 1 predates the nested per-protocol
+        sections, so its entries are unreachable from this code
+        regardless of ``version``).
         """
         payload = {
             "version": CACHE_VERSION if version is None else version,
-            "config": _canonical(dataclasses.asdict(self.config)),
+            "config": canonical_config(self.config),
             "duration": self.duration,
             "collector": self.collector,
             "before_run": self.before_run,
@@ -339,6 +343,25 @@ def _canonical(value: Any) -> Any:
     if dataclasses.is_dataclass(value):
         return _canonical(dataclasses.asdict(value))
     return repr(value)
+
+
+def canonical_config(config: ScenarioConfig) -> Dict[str, Any]:
+    """Canonical dict of a scenario config, for hashing and artifacts.
+
+    :func:`_canonical` over ``dataclasses.asdict``, minus every
+    physical-layer section (:data:`~repro.experiments.scenarios.
+    PHY_SECTIONS`) whose component is not the one the config selects:
+    an inactive section cannot influence the run, and omitting it keeps
+    cache keys *and* exported spec blocks byte-stable across releases
+    that add phy sections.  (Sweeping ``sinr.capture_db`` under
+    ``radio="unit_disk"`` therefore deliberately collapses to one cache
+    entry -- the physics genuinely cannot differ.)
+    """
+    data = _canonical(dataclasses.asdict(config))
+    for section, selector in PHY_SECTIONS.items():
+        if getattr(config, selector, None) != section:
+            data.pop(section, None)
+    return data
 
 
 @dataclass
@@ -1638,7 +1661,7 @@ def export_json(
             "duration": spec.duration,
             "seeds": list(spec.seeds),
             "grid": {axis: [_canonical(v) for v in values] for axis, values in spec.grid.items()},
-            "base": _canonical(dataclasses.asdict(spec.base)),
+            "base": canonical_config(spec.base),
         }
     if adaptive is not None:
         document["adaptive"] = adaptive.to_dict()

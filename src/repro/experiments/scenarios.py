@@ -13,8 +13,11 @@ is no protocol-specific branching here: the selected
 answers ``backbone_nodes()`` / ``aggregate_stats()`` uniformly.
 
 Sweep grids address the typed sections with dotted axes
-(``"hvdb.dimension"``, ``"dsm.position_period"``); see
-:func:`config_axis_names` for the full axis vocabulary.
+(``"hvdb.dimension"``, ``"dsm.position_period"``) -- including the
+physical-layer sections (``"sinr.capture_db"``,
+``"csma_ca.duty_cycle"``; see :mod:`repro.simulation.phy` and
+:data:`PHY_SECTIONS`); see :func:`config_axis_names` for the full axis
+vocabulary.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from repro.registry import MACS, MOBILITY_MODELS, PROTOCOL_STACKS, RADIOS, Regis
 from repro.simulation.groups import MulticastGroupManager
 from repro.simulation.network import Network, NetworkConfig
 from repro.simulation.node import MobileNode
+from repro.simulation.phy import CsmaCaMacConfig, SinrRadioConfig
 from repro.simulation.stack import ProtocolStack
 from repro.simulation.traffic import CbrMulticastSource
 
@@ -83,8 +87,25 @@ class ScenarioConfig:
     dsm: DsmConfig = field(default_factory=DsmConfig)
     spbm: SpbmConfig = field(default_factory=SpbmConfig)
 
+    # typed physical-layer sections (dotted grid axes: "sinr.capture_db",
+    # "csma_ca.duty_cycle", ...); see PHY_SECTIONS for their cache-key
+    # semantics
+    sinr: SinrRadioConfig = field(default_factory=SinrRadioConfig)
+    csma_ca: CsmaCaMacConfig = field(default_factory=CsmaCaMacConfig)
+
     def area(self) -> Area:
         return Area(self.area_size, self.area_size)
+
+
+#: Physical-layer config sections tied to a pluggable component: the
+#: section (key) only parameterises runs whose component field (value)
+#: selects the same-named component.  The orchestrator's
+#: :func:`~repro.experiments.orchestrator.canonical_config` drops
+#: inactive sections from cache keys and artifact spec blocks, so adding
+#: these sections did not invalidate the cached results (or change the
+#: artifacts) of any pre-existing unit-disk/csma sweep -- and future phy
+#: sections can follow the same rule.
+PHY_SECTIONS = {"sinr": "radio", "csma_ca": "mac"}
 
 
 def config_axis_names() -> frozenset:

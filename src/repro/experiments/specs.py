@@ -690,3 +690,81 @@ register_spec(
         ),
     )
 )
+
+register_spec(
+    SweepSpec(
+        name="a3_phy_contention",
+        description="A3: HVDB vs flooding under physical-layer contention "
+        "-- radio model (idealized unit disk vs SINR/capture with "
+        "concurrent-interferer bookkeeping) x MAC (abstract CSMA vs "
+        "slotted CSMA/CA with airtime accounting) x offered load.",
+        base=ScenarioConfig(
+            protocol="hvdb",
+            n_nodes=60,
+            area_size=1000.0,
+            radio_range=250.0,
+            max_speed=2.0,
+            group_size=12,
+            traffic_interval=1.0,
+            traffic_start=15.0,
+            hvdb=HVDBConfig(vc_cols=8, vc_rows=8, dimension=4),
+        ),
+        grid={
+            "protocol": ["hvdb", "flooding"],
+            "radio": ["unit_disk", "sinr"],
+            "mac": ["csma", "csma_ca"],
+            "offered_load": [
+                {"offered_load": "low", "traffic_interval": 2.0},
+                {"offered_load": "high", "traffic_interval": 0.5},
+            ],
+        },
+        seeds=(61,),
+        duration=60.0,
+    )
+)
+
+# derived from a3_phy_contention (same base and grid, by construction)
+# so the fixed and adaptive variants cannot drift apart; contention
+# outcomes (who captures, who defers) move packet delivery seed to seed
+# far more than the idealized radio does, which is the shape adaptive
+# per-point stopping exploits
+register_spec(
+    dataclasses.replace(
+        get_spec("a3_phy_contention"),
+        name="a3_phy_contention_adaptive",
+        description="A3 under adaptive replication: capture and backoff "
+        "make delivery noisy under load, so each protocol x radio x MAC "
+        "x load point gets seeds until the delivery-ratio 95% CI "
+        "half-width drops to 0.05 (max 8 seeds/point).",
+        seeds=(61, 62, 63),
+        replication=AdaptiveCI(
+            target_half_width=0.05, metric="pdr", min_seeds=3, max_seeds=8, batch=2
+        ),
+    )
+)
+
+register_spec(
+    SweepSpec(
+        name="phy_smoke",
+        description="Seconds-long physical-layer smoke grid: one tiny "
+        "seeded scenario per registered (radio, MAC) combination -- the "
+        "SINR/capture radio and the CSMA/CA MAC included -- backing "
+        "`make phy-smoke` and the radio/MAC coverage gate.",
+        base=ScenarioConfig(
+            protocol="flooding",
+            n_nodes=14,
+            area_size=500.0,
+            radio_range=250.0,
+            max_speed=2.0,
+            group_size=5,
+            traffic_interval=1.0,
+            traffic_start=3.0,
+        ),
+        grid={
+            "radio": ["unit_disk", "log_distance", "sinr"],
+            "mac": ["csma", "ideal", "csma_ca"],
+        },
+        seeds=(9,),
+        duration=12.0,
+    )
+)

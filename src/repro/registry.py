@@ -18,10 +18,12 @@ Four registries are provided, each with a ``register_*`` decorator:
 * :data:`RADIOS` / :func:`register_radio` -- ``fn(config) ->``
   :class:`~repro.simulation.radio.RadioModel` factories (``config`` is a
   ``ScenarioConfig``, or ``None`` for library defaults).  Built-ins:
-  ``unit_disk``, ``log_distance``.
+  ``unit_disk``, ``log_distance``, ``sinr`` (the interference-aware
+  SINR/capture radio from :mod:`repro.simulation.phy`).
 * :data:`MACS` / :func:`register_mac` -- ``fn(config) ->``
   :class:`~repro.simulation.mac.MacModel` factories.  Built-ins:
-  ``csma``, ``ideal``.
+  ``csma``, ``ideal``, ``csma_ca`` (slotted CSMA/CA with airtime and
+  duty-cycle accounting from :mod:`repro.simulation.phy`).
 * :data:`MOBILITY_MODELS` / :func:`register_mobility` -- ``fn(config,
   node_ids) -> MobilityModel`` factories.  Built-ins:
   ``random_waypoint``, ``static``, ``random_walk``, ``gauss_markov``.
@@ -165,10 +167,16 @@ PROTOCOL_STACKS = Registry(
 )
 
 #: radio-model factories; ``ScenarioConfig.radio`` resolves here
-RADIOS = Registry("radio", bootstrap=("repro.simulation.radio", _SPEC_MODULE))
+RADIOS = Registry(
+    "radio",
+    bootstrap=("repro.simulation.radio", "repro.simulation.phy", _SPEC_MODULE),
+)
 
 #: MAC-model factories; ``ScenarioConfig.mac`` resolves here
-MACS = Registry("mac", bootstrap=("repro.simulation.mac", _SPEC_MODULE))
+MACS = Registry(
+    "mac",
+    bootstrap=("repro.simulation.mac", "repro.simulation.phy", _SPEC_MODULE),
+)
 
 #: mobility-model factories; ``ScenarioConfig.mobility`` resolves here
 MOBILITY_MODELS = Registry(

@@ -17,10 +17,29 @@ Both models are registered with :func:`repro.registry.register_mac`
 from __future__ import annotations
 
 import abc
+import random
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.registry import register_mac
+
+
+@dataclass(frozen=True)
+class TxPlan:
+    """The MAC's verdict on one frame handed over for transmission.
+
+    ``proceed=False`` means the MAC refused the frame outright (e.g. a
+    duty-cycle budget was exhausted); the network then drops it without
+    occupying the medium.  ``airtime`` is the time the frame keeps the
+    medium busy -- what interference-aware radios are told about and what
+    duty-cycle accounting charges; ``delay`` additionally includes the
+    MAC's deferral and processing latency.
+    """
+
+    proceed: bool
+    delay: float
+    loss_probability: float
+    airtime: float
 
 
 class MacModel(abc.ABC):
@@ -32,7 +51,44 @@ class MacModel(abc.ABC):
 
     @abc.abstractmethod
     def loss_probability(self, contenders: int) -> float:
-        """Frame loss probability added by the MAC (collisions, queue drops)."""
+        """Frame loss probability added by the MAC (collisions, queue drops).
+
+        Implementations must return a value in [0, 1] for every
+        non-negative contender count, however large.
+        """
+
+    def airtime(self, size_bytes: int) -> float:
+        """Seconds the frame occupies the medium.
+
+        Default: the uncontended transmission delay -- a conservative
+        stand-in for MACs that do not separate medium occupancy from
+        per-hop latency.
+        """
+        return self.transmission_delay(size_bytes, 0)
+
+    def plan_transmission(
+        self,
+        sender: int,
+        now: float,
+        size_bytes: int,
+        contenders: int,
+        rng: random.Random,
+    ) -> TxPlan:
+        """Resolve one frame into a :class:`TxPlan` (the transmit-path seam).
+
+        The default consumes nothing from ``rng`` and reproduces the
+        classic pair of :meth:`transmission_delay` /
+        :meth:`loss_probability` calls exactly, so pre-existing MACs keep
+        their byte-identical artifacts; stateful MACs (backoff draws,
+        duty-cycle budgets) override this.
+        """
+        delay = self.transmission_delay(size_bytes, contenders)
+        return TxPlan(
+            proceed=True,
+            delay=delay,
+            loss_probability=self.loss_probability(contenders),
+            airtime=delay,
+        )
 
 
 @dataclass
@@ -82,9 +138,18 @@ class SimpleCsmaMac(MacModel):
     def loss_probability(self, contenders: int) -> float:
         if contenders < 0:
             raise ValueError("contenders must be non-negative")
+        # the explicit [0, 1] clamp keeps the MacModel contract even for
+        # adversarial contender counts where the product overflows the
+        # configured cap's intent (e.g. float rounding at ~1e300 rivals)
         return min(
-            self.max_collision_probability,
-            self.collision_probability_per_contender * contenders,
+            1.0,
+            max(
+                0.0,
+                min(
+                    self.max_collision_probability,
+                    self.collision_probability_per_contender * contenders,
+                ),
+            ),
         )
 
 

@@ -93,6 +93,8 @@ class NetworkStats:
     drops_out_of_range: int = 0
     drops_loss: int = 0
     drops_ttl: int = 0
+    drops_duty_cycle: int = 0        #: frames the MAC refused (duty-cycle budget)
+    airtime_seconds: float = 0.0     #: total medium occupancy, retries included
 
 
 class Network:
@@ -256,9 +258,12 @@ class Network:
     ) -> None:
         """Carry out one physical transmission (broadcast or unicast).
 
-        Reception at each candidate receiver is decided by the radio
-        model's reception probability and the MAC loss probability; the
-        delivery is scheduled after the MAC transmission delay.
+        The MAC resolves the frame into a :class:`~repro.simulation.mac.
+        TxPlan` (delay, loss probability, airtime, or an outright
+        duty-cycle denial); the radio is told about the frame's on-air
+        interval before reception at each candidate receiver is decided,
+        so interference-aware radios can hold every concurrent frame
+        against it.  The delivery is scheduled after the MAC delay.
         """
         sender_node = self.nodes[sender]
         if not sender_node.alive:
@@ -266,12 +271,22 @@ class Network:
         if packet.hops >= self.config.max_packet_hops:
             self.stats.drops_ttl += 1
             return
-        self._count_transmission(packet)
         sender_pos = self.mobility.position(sender)
         neighbor_ids = self.neighbors_of(sender)
         contenders = len(neighbor_ids)
-        delay = self.config.mac.transmission_delay(packet.size_bytes, contenders)
-        mac_loss = self.config.mac.loss_probability(contenders)
+        now = self.simulator.now
+        radio = self.config.radio
+        plan = self.config.mac.plan_transmission(
+            sender, now, packet.size_bytes, contenders, self.rng
+        )
+        if not plan.proceed:
+            self.stats.drops_duty_cycle += 1
+            return
+        self._count_transmission(packet)
+        self.stats.airtime_seconds += plan.airtime
+        radio.note_transmission(sender, sender_pos, now, now + plan.airtime)
+        delay = plan.delay
+        mac_loss = plan.loss_probability
 
         if destination is not None:
             targets = [destination] if destination in neighbor_ids else []
@@ -287,20 +302,32 @@ class Network:
             receiver = self.nodes.get(target)
             if receiver is None or not receiver.alive:
                 continue
-            p_rx = self.config.radio.reception_probability(
-                sender_pos, self.mobility.position(target)
-            )
+            target_pos = self.mobility.position(target)
             total_delay = delay
             received = False
             for attempt in range(attempts):
+                attempt_start = now + attempt * delay
+                p_rx = radio.reception_probability_during(
+                    sender,
+                    sender_pos,
+                    target,
+                    target_pos,
+                    attempt_start,
+                    attempt_start + plan.airtime,
+                )
                 if self.rng.random() < p_rx and self.rng.random() >= mac_loss:
                     received = True
                     break
                 # a failed attempt costs another frame time (and is counted
-                # as an extra physical transmission)
+                # as an extra physical transmission occupying the medium)
                 if attempt + 1 < attempts:
                     total_delay += delay
                     self._count_transmission(packet)
+                    self.stats.airtime_seconds += plan.airtime
+                    retry_start = now + (attempt + 1) * delay
+                    radio.note_transmission(
+                        sender, sender_pos, retry_start, retry_start + plan.airtime
+                    )
             if not received:
                 self.stats.drops_loss += 1
                 continue

@@ -24,6 +24,12 @@ from repro.registry import register_radio
 class RadioModel(abc.ABC):
     """Decides whether a transmission between two positions is receivable."""
 
+    #: True for radios that model concurrent-transmission interference
+    #: (e.g. :class:`repro.simulation.phy.SinrRadio`); such radios are
+    #: told about every frame's on-air interval via
+    #: :meth:`note_transmission`.
+    interference_aware = False
+
     @abc.abstractmethod
     def in_range(self, a: Point, b: Point) -> bool:
         """True if a node at ``b`` can possibly hear a node at ``a``."""
@@ -36,6 +42,35 @@ class RadioModel(abc.ABC):
     @abc.abstractmethod
     def nominal_range(self) -> float:
         """Nominal radio range in metres (used for neighbour-grid sizing)."""
+
+    def note_transmission(
+        self, sender: int, position: Point, start: float, end: float
+    ) -> None:
+        """Inform the radio that ``sender`` occupies the medium over an interval.
+
+        The transmit path calls this for every frame (retries included)
+        before deciding its receivers.  Interference-blind radios ignore
+        it; interference-aware radios record the interval for SINR
+        bookkeeping.
+        """
+
+    def reception_probability_during(
+        self,
+        sender: int,
+        sender_pos: Point,
+        receiver: int,
+        receiver_pos: Point,
+        start: float,
+        end: float,
+    ) -> float:
+        """Reception probability given the frames concurrently on the air.
+
+        Default: delegate to the interval-blind
+        :meth:`reception_probability` -- classic radios see exactly the
+        arithmetic (and therefore the byte-identical artifacts) they
+        produced before the transmit path became interference-aware.
+        """
+        return self.reception_probability(sender_pos, receiver_pos)
 
 
 class UnitDiskRadio(RadioModel):

@@ -1,0 +1,123 @@
+"""Tests of the ``a3_phy_contention`` / ``phy_smoke`` sweep specs.
+
+The physical-layer sweeps are the surfaces that exercise the ``sinr``
+radio and ``csma_ca`` MAC end to end: these tests pin down that the new
+grid axes are really registered (protocol x radio x MAC x offered load),
+that ``phy_smoke`` covers every registered (radio, MAC) combination, and
+that a sharded run of the contention grid merges to byte-identical
+artifacts -- the same guarantee the classic sweeps enjoy.
+"""
+
+import dataclasses
+import hashlib
+import os
+
+from repro.experiments.orchestrator import (
+    expand_spec,
+    export_csv,
+    merge_caches,
+    run_sweep,
+)
+from repro.experiments.specs import get_spec
+from repro.registry import MACS, RADIOS
+
+
+class TestA3PhyContentionSpec:
+    def test_grid_sweeps_phy_axes(self):
+        spec = get_spec("a3_phy_contention")
+        assert set(spec.grid) == {"protocol", "radio", "mac", "offered_load"}
+        assert spec.grid["radio"] == ["unit_disk", "sinr"]
+        assert spec.grid["mac"] == ["csma", "csma_ca"]
+        runs = expand_spec(spec)
+        assert len(runs) == 16
+        assert {(r.config.radio, r.config.mac) for r in runs} == {
+            ("unit_disk", "csma"),
+            ("unit_disk", "csma_ca"),
+            ("sinr", "csma"),
+            ("sinr", "csma_ca"),
+        }
+
+    def test_offered_load_is_a_label_axis(self):
+        runs = expand_spec(get_spec("a3_phy_contention"))
+        loads = {r.params["offered_load"]: r.config.traffic_interval for r in runs}
+        assert loads == {"low": 2.0, "high": 0.5}
+        # the label, not the coupled traffic_interval, names the run
+        assert all("traffic_interval" not in r.params for r in runs)
+
+    def test_phy_axes_distinguish_cache_keys(self):
+        runs = expand_spec(get_spec("a3_phy_contention"))
+        keys = [r.cache_key() for r in runs]
+        assert len(keys) == len(set(keys))
+
+    def test_adaptive_variant_registered(self):
+        spec = get_spec("a3_phy_contention_adaptive")
+        assert spec.replication is not None
+        assert spec.replication.metric == "pdr"
+        assert spec.grid == get_spec("a3_phy_contention").grid
+
+
+class TestPhySmokeSpec:
+    def test_covers_every_registered_radio_mac_pair(self):
+        runs = expand_spec(get_spec("phy_smoke"))
+        combos = {(r.config.radio, r.config.mac) for r in runs}
+        assert combos == {
+            (radio, mac) for radio in RADIOS.names() for mac in MACS.names()
+        }
+        assert len(runs) == len(combos)  # exactly one run per combination
+
+
+def shrunk_contention_spec():
+    """A 4-run slice of ``a3_phy_contention`` small enough for a test run."""
+    full = get_spec("a3_phy_contention")
+    return dataclasses.replace(
+        full,
+        name="a3_phy_contention_shrunk",
+        base=dataclasses.replace(
+            full.base,
+            n_nodes=16,
+            area_size=500.0,
+            group_size=5,
+            traffic_start=3.0,
+        ),
+        grid={
+            "protocol": ["flooding"],
+            "radio": ["unit_disk", "sinr"],
+            "mac": ["csma", "csma_ca"],
+            "offered_load": [{"offered_load": "high", "traffic_interval": 0.5}],
+        },
+        duration=8.0,
+    )
+
+
+class TestShardedPhyContention:
+    def test_sharded_run_merges_to_identical_artifact_bytes(self, tmp_path):
+        spec = shrunk_contention_spec()
+        reference = run_sweep(spec, workers=1, executor="serial")
+        ref_csv = str(tmp_path / "reference.csv")
+        export_csv(reference, ref_csv)
+
+        shard_dirs = []
+        for index in (1, 2):
+            shard_dir = str(tmp_path / f"shard{index}")
+            shard_dirs.append(shard_dir)
+            results = run_sweep(
+                spec, workers=1, executor="serial",
+                cache_dir=shard_dir, shard=(index, 2),
+            )
+            assert all(not r.from_cache for r in results)
+
+        merged_dir = str(tmp_path / "merged")
+        copied, skipped = merge_caches(shard_dirs, merged_dir)
+        assert (copied, skipped) == (spec.run_count, 0)
+
+        merged = run_sweep(spec, workers=1, executor="serial", cache_dir=merged_dir)
+        assert all(r.from_cache for r in merged)
+        merged_csv = str(tmp_path / "merged.csv")
+        export_csv(merged, merged_csv)
+
+        with open(ref_csv, "rb") as fh:
+            reference_bytes = fh.read()
+        with open(merged_csv, "rb") as fh:
+            assert fh.read() == reference_bytes
+        assert hashlib.sha256(reference_bytes).hexdigest()  # non-empty artifact
+        assert os.path.getsize(ref_csv) > 0

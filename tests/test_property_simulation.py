@@ -113,3 +113,118 @@ class TestEngineProperties:
                 expected += 1
         sim.run_until(100.0)
         assert len(fired) == expected
+
+
+class TestPhyProperties:
+    """Physical-layer invariants (see docs/physical-layer.md)."""
+
+    @given(
+        st.floats(min_value=-95.0, max_value=0.0),
+        st.lists(st.floats(min_value=-120.0, max_value=-40.0), max_size=8),
+        st.floats(min_value=-120.0, max_value=-60.0),
+    )
+    def test_sinr_non_increasing_as_interferers_added(
+        self, signal, interferers, extra
+    ):
+        from repro.simulation.phy import sinr_db
+
+        noise = -100.0
+        without = sinr_db(signal, interferers, noise)
+        with_extra = sinr_db(signal, interferers + [extra], noise)
+        assert with_extra <= without + 1e-9
+
+    @given(
+        st.sampled_from(["unit_disk", "log_distance", "sinr"]),
+        st.floats(min_value=0.0, max_value=800.0),
+        st.floats(min_value=0.0, max_value=800.0),
+        st.floats(min_value=0.0, max_value=800.0),
+        st.floats(min_value=0.0, max_value=800.0),
+    )
+    def test_reception_probability_in_unit_interval(self, radio, ax, ay, bx, by):
+        from repro.geo.geometry import Point
+        from repro.registry import RADIOS
+
+        model = RADIOS.get(radio)(None)
+        p = model.reception_probability(Point(ax, ay), Point(bx, by))
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        st.integers(min_value=1, max_value=4000),
+        st.integers(min_value=1, max_value=4000),
+        st.floats(min_value=1e4, max_value=1e8),
+        st.floats(min_value=1e4, max_value=1e8),
+    )
+    def test_airtime_monotone_in_size_and_bitrate(self, s1, s2, b1, b2):
+        from repro.simulation.phy import CsmaCaMac, CsmaCaMacConfig
+
+        small, large = sorted((s1, s2))
+        slow, fast = sorted((b1, b2))
+        if small != large:
+            mac = CsmaCaMac(CsmaCaMacConfig(bitrate_bps=slow))
+            assert mac.airtime(large) > mac.airtime(small)
+        if slow != fast:
+            slow_mac = CsmaCaMac(CsmaCaMacConfig(bitrate_bps=slow))
+            fast_mac = CsmaCaMac(CsmaCaMacConfig(bitrate_bps=fast))
+            assert fast_mac.airtime(s1) < slow_mac.airtime(s1)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.9),
+        st.floats(min_value=0.5, max_value=5.0),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=0.5),
+                st.integers(min_value=64, max_value=2048),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_duty_cycle_budget_never_exceeded_over_any_window(
+        self, duty, window, arrivals, seed
+    ):
+        from repro.simulation.phy import CsmaCaMac, CsmaCaMacConfig
+
+        mac = CsmaCaMac(
+            CsmaCaMacConfig(duty_cycle=duty, duty_cycle_window=window)
+        )
+        rng = random.Random(seed)
+        now = 0.0
+        grants = []  # (start, airtime) of every admitted frame
+        for gap, size in arrivals:
+            now += gap
+            plan = mac.plan_transmission(0, now, size, contenders=2, rng=rng)
+            if plan.proceed:
+                grants.append((now, plan.airtime))
+        budget = duty * window + 1e-9
+        # airtime started within (t - window, t] never exceeds the budget,
+        # for t at every grant instant (the extremal window endpoints)
+        for t, _ in grants:
+            used = sum(a for s, a in grants if t - window < s <= t)
+            assert used <= budget
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_backoff_bounded_by_max_stage(self, contenders, stage, cw_min, seed):
+        from repro.simulation.phy import CsmaCaMac, CsmaCaMacConfig
+
+        config = CsmaCaMacConfig(cw_min=cw_min, max_backoff_stage=stage)
+        mac = CsmaCaMac(config)
+        cw = mac.contention_window(contenders)
+        assert cw_min <= cw <= cw_min << stage
+        rng = random.Random(seed)
+        plan = mac.plan_transmission(0, 0.0, 512, contenders, rng)
+        assert plan.proceed
+        max_delay = (
+            config.base_latency
+            + config.difs
+            + (cw - 1) * config.slot_time
+            + mac.airtime(512)
+        )
+        assert config.base_latency + config.difs <= plan.delay <= max_delay + 1e-12
